@@ -1,0 +1,79 @@
+//! Criterion benches of the allreduce implementations themselves — wall time of
+//! the full simulated collective (real data movement over threads), one per
+//! Table 1 algorithm. Useful for tracking the simulator's own performance.
+
+use collectives::{
+    allreduce_inplace, dsa_allreduce, gtopk_allreduce, topk_allgather_allreduce,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::prelude::*;
+use simnet::{Cluster, CostModel};
+use sparse::select::topk_exact;
+use sparse::CooGradient;
+
+const P: usize = 8;
+const N: usize = 1 << 16;
+const K: usize = N / 100;
+
+fn locals(seed: u64) -> Vec<CooGradient> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..P)
+        .map(|_| {
+            let dense: Vec<f32> = (0..N).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            topk_exact(&dense, K)
+        })
+        .collect()
+}
+
+fn dense_inputs(seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..P).map(|_| (0..N).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives_p8_n64k");
+    group.sample_size(20);
+
+    let inputs = dense_inputs(1);
+    group.bench_function("dense_rabenseifner", |b| {
+        b.iter(|| {
+            let inputs = inputs.clone();
+            Cluster::new(P, CostModel::aries()).run(move |comm| {
+                let mut d = inputs[comm.rank()].clone();
+                allreduce_inplace(comm, &mut d);
+            })
+        })
+    });
+
+    let ls = locals(2);
+    group.bench_function("topk_a", |b| {
+        b.iter(|| {
+            let ls = ls.clone();
+            Cluster::new(P, CostModel::aries())
+                .run(move |comm| topk_allgather_allreduce(comm, ls[comm.rank()].clone()))
+        })
+    });
+
+    let ls = locals(3);
+    group.bench_function("topk_dsa", |b| {
+        b.iter(|| {
+            let ls = ls.clone();
+            Cluster::new(P, CostModel::aries())
+                .run(move |comm| dsa_allreduce(comm, ls[comm.rank()].clone(), N))
+        })
+    });
+
+    let ls = locals(4);
+    group.bench_function("gtopk", |b| {
+        b.iter(|| {
+            let ls = ls.clone();
+            Cluster::new(P, CostModel::aries())
+                .run(move |comm| gtopk_allreduce(comm, ls[comm.rank()].clone(), K))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

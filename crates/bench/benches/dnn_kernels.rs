@@ -1,0 +1,61 @@
+//! Criterion benches of the DL substrate's real compute kernels: one forward +
+//! backward pass of each evaluation model, and the dense matmul primitive.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dnn::data::{SyntheticImages, SyntheticMaskedLm, SyntheticSequences};
+use dnn::models::{BertLite, LstmNet, VggLite};
+use dnn::ops::matmul_acc;
+use dnn::Model;
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_fwd_bwd");
+    group.sample_size(30);
+
+    let mut vgg = VggLite::new(1);
+    let img = SyntheticImages::new(2).train_batch(0, 0, 1, 4);
+    group.bench_function("vgglite_batch4", |b| {
+        b.iter(|| {
+            vgg.zero_grads();
+            vgg.forward_backward(&img)
+        })
+    });
+
+    let mut lstm = LstmNet::new(1);
+    let seq = SyntheticSequences::new(2).train_batch(0, 0, 1, 4);
+    group.bench_function("lstmnet_batch4", |b| {
+        b.iter(|| {
+            lstm.zero_grads();
+            lstm.forward_backward(&seq)
+        })
+    });
+
+    let mut bert = BertLite::new(1);
+    let mlm = SyntheticMaskedLm::new(2).train_batch(0, 0, 1, 4);
+    group.bench_function("bertlite_batch4", |b| {
+        b.iter(|| {
+            bert.zero_grads();
+            bert.forward_backward(&mlm)
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let (rows, inner, cols) = (32usize, 512usize, 128usize);
+    let x: Vec<f32> = (0..rows * inner).map(|i| (i as f32 * 0.37).sin()).collect();
+    let w: Vec<f32> = (0..inner * cols).map(|i| (i as f32 * 0.11).cos()).collect();
+    let mut group = c.benchmark_group("matmul");
+    group.throughput(Throughput::Elements((rows * inner * cols) as u64));
+    group.bench_function("32x512x128", |b| {
+        b.iter(|| {
+            let mut out = vec![0.0f32; rows * cols];
+            matmul_acc(&x, &w, &mut out, rows, inner, cols);
+            out
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_models, bench_matmul);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benches of the O(k) sparse allreduce and its phases: full Algorithm 1
+//! invocations (steady state and re-evaluation iterations) and the Ok-Topk SGD step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oktopk::{OkTopk, OkTopkConfig, OkTopkSgd};
+use rand::prelude::*;
+use simnet::{Cluster, CostModel};
+
+const P: usize = 8;
+const N: usize = 1 << 16;
+const K: usize = N / 100;
+
+fn accs(seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..P).map(|_| (0..N).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oktopk_p8_n64k");
+    group.sample_size(20);
+
+    let a1 = accs(1);
+    let a2 = accs(2);
+    group.bench_function("allreduce_2iters_incl_reeval", |b| {
+        b.iter(|| {
+            let a1 = a1.clone();
+            let a2 = a2.clone();
+            Cluster::new(P, CostModel::aries()).run(move |comm| {
+                let mut okt = OkTopk::new(OkTopkConfig::new(N, K).with_periods(64, 64));
+                okt.allreduce(comm, &a1[comm.rank()], 1);
+                okt.allreduce(comm, &a2[comm.rank()], 2);
+            })
+        })
+    });
+
+    let grads = accs(3);
+    group.bench_function("sgd_step", |b| {
+        b.iter(|| {
+            let grads = grads.clone();
+            Cluster::new(P, CostModel::aries()).run(move |comm| {
+                let mut sgd = OkTopkSgd::new(OkTopkConfig::new(N, K));
+                sgd.step(comm, &grads[comm.rank()], 0.1);
+            })
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Quantization × sparsification ablation (the SparCML combination the paper
+//! calls orthogonal, §2): compare the allgather-based sparse allreduce with
+//! full-precision, 16-bit and 8-bit values on (a) measured wire volume and modeled
+//! time, and (b) convergence of a real training run where quantization noise is
+//! absorbed by the residual.
+
+use okbench::print_series;
+use rand::prelude::*;
+use simnet::Cluster;
+use sparse::quant::QuantMode;
+use sparse::select::topk_exact;
+use sparse::CooGradient;
+use train::{CostProfile, Reducer, Scheme};
+
+fn main() {
+    let (p, n) = (16usize, 1usize << 16);
+    let k = n / 100;
+    let cost = CostProfile::paper_calibrated();
+
+    println!("Quantized sparse allreduce (TopkA transport, P = {p}, n = {n}, k = {k})\n");
+
+    // (a) Volume and modeled time of one collective.
+    let locals: Vec<CooGradient> = {
+        let mut rng = StdRng::seed_from_u64(5);
+        (0..p)
+            .map(|_| {
+                let dense: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                topk_exact(&dense, k)
+            })
+            .collect()
+    };
+    let mut labels = Vec::new();
+    let mut volumes = Vec::new();
+    let mut times = Vec::new();
+    for (label, mode) in [("f32 (plain)", None), ("q16", Some(QuantMode::Q16)), ("q8", Some(QuantMode::Q8))] {
+        let ls = locals.clone();
+        let report = Cluster::new(p, cost.network()).run(move |comm| match mode {
+            None => {
+                collectives::topk_allgather_allreduce(comm, ls[comm.rank()].clone());
+            }
+            Some(m) => {
+                collectives::quantized_allgather_allreduce(comm, ls[comm.rank()].clone(), m);
+            }
+        });
+        labels.push(label);
+        volumes.push(report.ledger.total_elements() as f64 / p as f64);
+        times.push(report.makespan() * 1e3);
+    }
+    println!("  format: {labels:?}");
+    print_series("elements/rank", &volumes);
+    print_series("modeled time (ms)", &times);
+
+    // (b) Convergence with residual-absorbed quantization noise: a small convex
+    // problem driven through the Reducer (quadratic per rank, as in §4's setting).
+    println!("\nConvergence on a separable quadratic (error vs iteration, lower is better):");
+    let n2 = 4096;
+    let k2 = n2 / 20;
+    let centers: Vec<Vec<f32>> = {
+        let mut rng = StdRng::seed_from_u64(9);
+        (0..p).map(|_| (0..n2).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+    };
+    let mut mean = vec![0.0f32; n2];
+    for c in &centers {
+        for (m, x) in mean.iter_mut().zip(c) {
+            *m += x / p as f32;
+        }
+    }
+    for (label, mode) in [("f32 (plain)", None), ("q16", Some(QuantMode::Q16)), ("q8", Some(QuantMode::Q8))] {
+        let centers = centers.clone();
+        let mean = mean.clone();
+        let report = Cluster::new(p, cost.network()).run(move |comm| {
+            let mut reducer = Reducer::new(Scheme::TopkA, n2, k2 as f64 / n2 as f64, cost, 8, 8);
+            if let Some(m) = mode {
+                reducer = reducer.with_quantization(m);
+            }
+            let mut w = vec![0.0f32; n2];
+            let mut errs = Vec::new();
+            for it in 0..300 {
+                let grad: Vec<f32> =
+                    w.iter().zip(&centers[comm.rank()]).map(|(wi, ci)| wi - ci).collect();
+                let lr = 0.1 / (1.0 + it as f32 / 100.0);
+                let (update, _) = reducer.reduce(comm, &grad, lr);
+                if let train::Update::Sparse(u) = update {
+                    for (i, v) in u.iter() {
+                        w[i as usize] -= v;
+                    }
+                }
+                if it % 60 == 59 {
+                    let err: f64 = w
+                        .iter()
+                        .zip(&mean)
+                        .map(|(a, b)| ((a - b) as f64).powi(2))
+                        .sum::<f64>()
+                        .sqrt();
+                    errs.push(err);
+                }
+            }
+            errs
+        });
+        print_series(label, &report.results[0]);
+    }
+    println!("\nExpected: q16 indistinguishable from f32; q8 slightly noisier but converging,");
+    println!("with 25-37% less wire volume — quantization composes with sparsification.");
+}

@@ -1,0 +1,155 @@
+//! # okbench — reproduction harnesses for every table and figure
+//!
+//! One binary per experiment (`cargo run --release -p okbench --bin figNN`),
+//! printing the same rows/series the paper reports, plus Criterion benches over
+//! the real compute kernels (`cargo bench -p okbench`).
+//!
+//! All harnesses run a *quick* configuration by default (minutes on a laptop
+//! core); set `OKBENCH_FULL=1` for configurations closer to the paper's scale.
+//! EXPERIMENTS.md records paper-vs-measured for the quick settings.
+
+use dnn::models::{BertLite, LstmNet, VggLite};
+use train::{Scheme, TrainConfig};
+
+/// Whether the full-scale configuration was requested.
+pub fn full_scale() -> bool {
+    std::env::var("OKBENCH_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Scale an iteration count by the quick/full switch.
+pub fn iters(quick: usize, full: usize) -> usize {
+    if full_scale() {
+        full
+    } else {
+        quick
+    }
+}
+
+/// Standard model constructors with fixed seeds so every harness trains the same
+/// replicas.
+pub fn vgg() -> VggLite {
+    VggLite::new(16)
+}
+
+pub fn lstm() -> LstmNet {
+    LstmNet::new(21)
+}
+
+pub fn bert() -> BertLite {
+    BertLite::new(13)
+}
+
+/// Print a breakdown row in a fixed-width table (seconds per iteration).
+pub fn print_breakdown_row(scheme: Scheme, compute: f64, sparsify: f64, comm: f64) {
+    println!(
+        "  {:<10} sparsification {:>9.4}s  communication {:>9.4}s  compute+IO {:>9.4}s  total {:>9.4}s",
+        scheme.name(),
+        sparsify,
+        comm,
+        compute,
+        compute + sparsify + comm
+    );
+}
+
+/// Standard quick-mode TrainConfig shared by the case studies.
+pub fn base_config(scheme: Scheme, density: f64) -> TrainConfig {
+    TrainConfig::new(scheme, density)
+}
+
+/// Simple fixed-width series printer: `label: v1 v2 v3 …`.
+pub fn print_series(label: &str, values: &[f64]) {
+    print!("  {label:<24}");
+    for v in values {
+        print!(" {v:>10.4}");
+    }
+    println!();
+}
+
+use dnn::Model;
+use train::{run_data_parallel, RunResult};
+
+/// Weak-scaling panel shared by Figs. 8, 10 and 12: for each rank count, run every
+/// scheme for a few iterations and print the per-iteration time breakdown.
+/// Returns `(P, scheme, mean time/iter)` tuples for further analysis.
+pub fn weak_scaling_panel<M, FM, FB>(
+    title: &str,
+    ps: &[usize],
+    schemes: &[Scheme],
+    base: &TrainConfig,
+    warmup: usize,
+    make_model: FM,
+    make_batch: FB,
+) -> Vec<(usize, Scheme, f64)>
+where
+    M: Model,
+    M::Batch: Sync,
+    FM: Fn() -> M + Send + Sync,
+    FB: Fn(u64, usize, usize) -> M::Batch + Send + Sync,
+{
+    println!("{title}");
+    let mut out = Vec::new();
+    for &p in ps {
+        println!("\nP = {p} ranks (global batch = {} × local batch):", p);
+        for &scheme in schemes {
+            let mut cfg = *base;
+            cfg.scheme = scheme;
+            let res = run_data_parallel(p, &cfg, &make_model, &make_batch, &[]);
+            let (c, s, m) = res.mean_breakdown(warmup);
+            print_breakdown_row(scheme, c, s, m);
+            out.push((p, scheme, c + s + m));
+        }
+    }
+    out
+}
+
+/// Convergence panel shared by Figs. 9, 11 and 13: run each scheme to completion
+/// with periodic held-out evaluation and print metric-vs-modeled-time curves.
+#[allow(clippy::too_many_arguments)] // experiment harness: explicit is clearer
+pub fn convergence_panel<M, FM, FB>(
+    title: &str,
+    metric_name: &str,
+    p: usize,
+    schemes: &[Scheme],
+    base: &TrainConfig,
+    make_model: FM,
+    make_batch: FB,
+    eval_batches: &[M::Batch],
+    // true → report accuracy; false → report error rate; None → report loss
+    metric: Option<bool>,
+) -> Vec<(Scheme, RunResult)>
+where
+    M: Model,
+    M::Batch: Sync,
+    FM: Fn() -> M + Send + Sync,
+    FB: Fn(u64, usize, usize) -> M::Batch + Send + Sync,
+{
+    println!("{title}  (P = {p})");
+    let mut results = Vec::new();
+    for &scheme in schemes {
+        let mut cfg = *base;
+        cfg.scheme = scheme;
+        let res = run_data_parallel(p, &cfg, &make_model, &make_batch, eval_batches);
+        println!("\n  {} — {metric_name} vs modeled time:", scheme.name());
+        for e in &res.evals {
+            let v = match metric {
+                Some(true) => e.accuracy,
+                Some(false) => 1.0 - e.accuracy,
+                None => e.loss,
+            };
+            println!("    t={:>6}  time={:>9.2}s  {metric_name}={v:.4}", e.t, e.time);
+        }
+        if let Some(last) = res.evals.last() {
+            let v = match metric {
+                Some(true) => last.accuracy,
+                Some(false) => 1.0 - last.accuracy,
+                None => last.loss,
+            };
+            println!(
+                "    final: {metric_name} = {v:.4} at modeled time {:.2}s",
+                last.time
+            );
+        }
+        results.push((scheme, res));
+    }
+    results
+}

@@ -1,0 +1,464 @@
+//! Dense collectives: Rabenseifner allreduce, ring allreduce, allgather, broadcast.
+//!
+//! Rabenseifner's algorithm \[12\] = recursive-halving reduce-scatter followed by a
+//! recursive-doubling allgather. It meets the `2n(P−1)/P` bandwidth lower bound
+//! quoted in Table 1 with `2·log P` latency, but requires a power-of-two rank count;
+//! [`allreduce_inplace`] falls back to a ring (same bandwidth, `2(P−1)` latency) for
+//! other sizes.
+
+use simnet::{Net, WireSize};
+use sparse::partition::equal_boundaries;
+
+const TAG_RS: u64 = 0x10; // reduce-scatter phase
+const TAG_AG: u64 = 0x11; // allgather phase
+const TAG_BC: u64 = 0x12; // broadcast
+const TAG_AR64: u64 = 0x13; // small f64 allreduce
+const TAG_ITEMS: u64 = 0x14; // generic item allgather
+const TAG_A2A: u64 = 0x15; // alltoallv
+
+/// In-place sum-allreduce of a dense f32 vector across all ranks.
+///
+/// Picks Rabenseifner for power-of-two cluster sizes, ring otherwise. `data` must
+/// have the same length on every rank.
+pub fn allreduce_inplace<C: Net>(comm: &mut C, data: &mut [f32]) {
+    let p = comm.size();
+    if p == 1 {
+        return;
+    }
+    if p.is_power_of_two() {
+        rabenseifner(comm, data);
+    } else {
+        ring_allreduce(comm, data);
+    }
+}
+
+/// Element range of regions `[a, b)` given `P+1` element boundaries.
+fn span(bounds: &[u32], a: usize, b: usize) -> std::ops::Range<usize> {
+    bounds[a] as usize..bounds[b] as usize
+}
+
+/// Rabenseifner's allreduce for power-of-two P.
+fn rabenseifner<C: Net>(comm: &mut C, data: &mut [f32]) {
+    let p = comm.size();
+    let rank = comm.rank();
+    debug_assert!(p.is_power_of_two());
+    let bounds = equal_boundaries(data.len() as u32, p);
+
+    // Recursive-halving reduce-scatter: the segment of regions this rank still
+    // reduces shrinks by half each step.
+    let (mut seg_lo, mut seg_len) = (0usize, p);
+    let mut dist = p / 2;
+    while dist >= 1 {
+        let partner = rank ^ dist;
+        let mid = seg_lo + seg_len / 2;
+        let (keep, give) = if rank & dist == 0 {
+            ((seg_lo, mid), (mid, seg_lo + seg_len))
+        } else {
+            ((mid, seg_lo + seg_len), (seg_lo, mid))
+        };
+        let chunk = data[span(&bounds, give.0, give.1)].to_vec();
+        let got: Vec<f32> = comm.sendrecv(partner, TAG_RS, chunk, partner, TAG_RS);
+        for (d, g) in data[span(&bounds, keep.0, keep.1)].iter_mut().zip(&got) {
+            *d += g;
+        }
+        seg_lo = keep.0;
+        seg_len /= 2;
+        dist /= 2;
+    }
+
+    // Recursive-doubling allgather: segments re-merge in reverse order. At distance
+    // `d`, rank and partner hold adjacent equal-length blocks (lower block at the
+    // rank whose `d` bit is clear).
+    let mut dist = 1;
+    while dist < p {
+        let partner = rank ^ dist;
+        let chunk = data[span(&bounds, seg_lo, seg_lo + seg_len)].to_vec();
+        let got: Vec<f32> = comm.sendrecv(partner, TAG_AG, chunk, partner, TAG_AG);
+        let partner_lo = if rank & dist == 0 { seg_lo + seg_len } else { seg_lo - seg_len };
+        data[span(&bounds, partner_lo, partner_lo + seg_len)].copy_from_slice(&got);
+        seg_lo = seg_lo.min(partner_lo);
+        seg_len *= 2;
+        dist *= 2;
+    }
+}
+
+/// Ring allreduce for arbitrary P: P−1 reduce-scatter steps + P−1 allgather steps.
+fn ring_allreduce<C: Net>(comm: &mut C, data: &mut [f32]) {
+    let p = comm.size();
+    let rank = comm.rank();
+    let bounds = equal_boundaries(data.len() as u32, p);
+    let right = (rank + 1) % p;
+    let left = (rank + p - 1) % p;
+
+    // Reduce-scatter: at step s, send the partial sum of chunk (rank − s) and
+    // accumulate chunk (rank − s − 1) arriving from the left.
+    for s in 0..p - 1 {
+        let send_chunk = (rank + p - s) % p;
+        let recv_chunk = (rank + p - s - 1) % p;
+        let chunk = data[span(&bounds, send_chunk, send_chunk + 1)].to_vec();
+        let got: Vec<f32> = comm.sendrecv(right, TAG_RS, chunk, left, TAG_RS);
+        for (d, g) in data[span(&bounds, recv_chunk, recv_chunk + 1)].iter_mut().zip(&got) {
+            *d += g;
+        }
+    }
+    // Allgather: circulate the fully reduced chunks.
+    for s in 0..p - 1 {
+        let send_chunk = (rank + 1 + p - s) % p;
+        let recv_chunk = (rank + p - s) % p;
+        let chunk = data[span(&bounds, send_chunk, send_chunk + 1)].to_vec();
+        let got: Vec<f32> = comm.sendrecv(right, TAG_AG, chunk, left, TAG_AG);
+        data[span(&bounds, recv_chunk, recv_chunk + 1)].copy_from_slice(&got);
+    }
+}
+
+/// Block reduce-scatter: afterwards each rank holds the fully reduced region `rank`
+/// of the equal partition (returned together with its element offset).
+pub fn reduce_scatter_block<C: Net>(comm: &mut C, data: &[f32]) -> (usize, Vec<f32>) {
+    let p = comm.size();
+    let rank = comm.rank();
+    let bounds = equal_boundaries(data.len() as u32, p);
+    if p == 1 {
+        return (0, data.to_vec());
+    }
+    // Direct exchange: send region j to rank j (rotated to avoid endpoint hot-spots),
+    // then accumulate the P−1 incoming shards of our own region.
+    let mut mine = data[span(&bounds, rank, rank + 1)].to_vec();
+    for s in 1..p {
+        let dst = (rank + s) % p;
+        comm.send(dst, TAG_RS, data[span(&bounds, dst, dst + 1)].to_vec());
+    }
+    for s in 1..p {
+        let src = (rank + p - s) % p;
+        let got: Vec<f32> = comm.recv(src, TAG_RS);
+        for (m, g) in mine.iter_mut().zip(&got) {
+            *m += g;
+        }
+    }
+    (bounds[rank] as usize, mine)
+}
+
+/// An item tagged with its origin rank. The rank is *schedule metadata* — in a real
+/// MPI allgatherv the origin is implied by the displacement array, not transmitted —
+/// so the wire size counts only the payload.
+struct Keyed<T>(u32, T);
+
+impl<T: Clone> Clone for Keyed<T> {
+    fn clone(&self) -> Self {
+        Keyed(self.0, self.1.clone())
+    }
+}
+
+impl<T: WireSize> WireSize for Keyed<T> {
+    fn wire_elems(&self) -> u64 {
+        self.1.wire_elems()
+    }
+}
+
+/// Allgather of one item per rank; returns the items indexed by rank.
+///
+/// Uses recursive doubling (log P steps) for power-of-two P, a ring otherwise.
+/// The item type carries its own wire size, so variable-size payloads (an
+/// *allgatherv*) are natural.
+pub fn allgather_items<C: Net, T>(comm: &mut C, mine: T) -> Vec<T>
+where
+    T: Clone + Send + WireSize + 'static,
+{
+    let p = comm.size();
+    let rank = comm.rank();
+    let mut slots: Vec<Option<T>> = (0..p).map(|_| None).collect();
+    slots[rank] = Some(mine);
+    if p == 1 {
+        return slots.into_iter().map(|s| s.expect("own slot filled")).collect();
+    }
+    if p.is_power_of_two() {
+        // Recursive doubling: exchange everything gathered so far with rank ^ dist.
+        let mut dist = 1;
+        while dist < p {
+            let partner = rank ^ dist;
+            let have: Vec<Keyed<T>> = slots
+                .iter()
+                .enumerate()
+                .filter_map(|(r, s)| s.clone().map(|v| Keyed(r as u32, v)))
+                .collect();
+            let got: Vec<Keyed<T>> = comm.sendrecv(partner, TAG_ITEMS, have, partner, TAG_ITEMS);
+            for Keyed(r, v) in got {
+                slots[r as usize] = Some(v);
+            }
+            dist *= 2;
+        }
+    } else {
+        // Ring: at step s forward the item received at step s−1.
+        let right = (rank + 1) % p;
+        let left = (rank + p - 1) % p;
+        for s in 0..p - 1 {
+            let fwd = (rank + p - s) % p;
+            let item = slots[fwd].clone().expect("ring invariant: item present");
+            let got: T = comm.sendrecv(right, TAG_ITEMS, item, left, TAG_ITEMS);
+            slots[(rank + p - s - 1) % p] = Some(got);
+        }
+    }
+    slots.into_iter().map(|s| s.expect("allgather filled every slot")).collect()
+}
+
+/// Binomial-tree broadcast from `root`.
+pub fn broadcast<C: Net, T>(comm: &mut C, root: usize, value: Option<T>) -> T
+where
+    T: Clone + Send + WireSize + 'static,
+{
+    let p = comm.size();
+    let rank = comm.rank();
+    // Work in a rotated space where the root is rank 0.
+    let vrank = (rank + p - root) % p;
+    let mut have: Option<T> = if rank == root {
+        Some(value.expect("root must provide the broadcast value"))
+    } else {
+        None
+    };
+    // Round r: ranks with vrank < 2^r and vrank + 2^r < p send to vrank + 2^r.
+    let mut dist = 1;
+    while dist < p {
+        if vrank < dist {
+            let target = vrank + dist;
+            if target < p {
+                let dst = (target + root) % p;
+                comm.send(dst, TAG_BC, have.clone().expect("sender holds the value"));
+            }
+        } else if vrank < 2 * dist {
+            let src = ((vrank - dist) + root) % p;
+            have = Some(comm.recv(src, TAG_BC));
+        }
+        dist *= 2;
+    }
+    have.expect("broadcast reached every rank")
+}
+
+/// Personalized all-to-all exchange (MPI_Alltoallv): rank `i` sends `items[j]` to
+/// rank `j` and receives rank `j`'s `items[i]`, returned indexed by source.
+///
+/// This is the primitive underlying Ok-Topk's split-and-reduce; exposed here for
+/// library users. Destinations are rotated (`(rank+s) mod P` at step `s`) to avoid
+/// the endpoint congestion of Fig. 2a, and `items[rank]` is moved (not sent) to
+/// its own slot.
+pub fn alltoallv<C: Net, T>(comm: &mut C, items: Vec<T>) -> Vec<T>
+where
+    T: Clone + Send + WireSize + 'static,
+{
+    let p = comm.size();
+    let rank = comm.rank();
+    assert_eq!(items.len(), p, "alltoallv needs one item per destination rank");
+    let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
+    let mut items: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    out[rank] = items[rank].take();
+    for s in 1..p {
+        let dst = (rank + s) % p;
+        comm.send(dst, TAG_A2A, items[dst].take().expect("each destination item used once"));
+    }
+    for s in 1..p {
+        let src = (rank + p - s) % p;
+        out[src] = Some(comm.recv(src, TAG_A2A));
+    }
+    out.into_iter().map(|o| o.expect("one item per source")).collect()
+}
+
+/// Small-vector f64 sum-allreduce (recursive doubling on the full vector).
+///
+/// Used for Ok-Topk's boundary consensus (§3.1.1): message size is `P+1` elements,
+/// so latency dominates — `⌈log2 P⌉·α`, exactly the overhead the paper amortizes
+/// over τ iterations.
+pub fn allreduce_sum_f64<C: Net>(comm: &mut C, mut data: Vec<f64>) -> Vec<f64> {
+    let p = comm.size();
+    let rank = comm.rank();
+    if p == 1 {
+        return data;
+    }
+    if p.is_power_of_two() {
+        let mut dist = 1;
+        while dist < p {
+            let partner = rank ^ dist;
+            let got: Vec<f64> = comm.sendrecv(partner, TAG_AR64, data.clone(), partner, TAG_AR64);
+            for (d, g) in data.iter_mut().zip(&got) {
+                *d += g;
+            }
+            dist *= 2;
+        }
+        data
+    } else {
+        // Gather-and-sum over a ring; fine for tiny vectors.
+        let all = allgather_items(comm, data.clone());
+        let mut sum = vec![0.0f64; data.len()];
+        for v in all {
+            for (s, x) in sum.iter_mut().zip(&v) {
+                *s += x;
+            }
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use simnet::{Cluster, CostModel};
+
+    fn make_inputs(p: usize, n: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..p).map(|_| (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+    }
+
+    fn reference_sum(inputs: &[Vec<f32>]) -> Vec<f32> {
+        let mut sum = vec![0.0f32; inputs[0].len()];
+        for v in inputs {
+            for (s, x) in sum.iter_mut().zip(v) {
+                *s += x;
+            }
+        }
+        sum
+    }
+
+    fn check_allreduce(p: usize, n: usize) {
+        let inputs = make_inputs(p, n, 42 + p as u64);
+        let expect = reference_sum(&inputs);
+        let report = Cluster::new(p, CostModel::aries()).run(|comm| {
+            let mut data = inputs[comm.rank()].clone();
+            allreduce_inplace(comm, &mut data);
+            data
+        });
+        for (rank, got) in report.results.iter().enumerate() {
+            for (g, e) in got.iter().zip(&expect) {
+                assert!((g - e).abs() < 1e-4, "rank {rank}: {g} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn rabenseifner_matches_reference_pow2() {
+        for p in [2, 4, 8, 16] {
+            check_allreduce(p, 103); // non-divisible length exercises uneven regions
+        }
+    }
+
+    #[test]
+    fn ring_matches_reference_non_pow2() {
+        for p in [3, 5, 6, 7] {
+            check_allreduce(p, 64);
+        }
+    }
+
+    #[test]
+    fn allreduce_volume_is_2n_fraction() {
+        // Rabenseifner per-rank sent volume should be ~2n(P−1)/P.
+        let p = 8;
+        let n = 1 << 12;
+        let inputs = make_inputs(p, n, 1);
+        let report = Cluster::new(p, CostModel::aries()).run(|comm| {
+            let mut data = inputs[comm.rank()].clone();
+            allreduce_inplace(comm, &mut data);
+        });
+        let expected = 2.0 * n as f64 * (p - 1) as f64 / p as f64;
+        for rank in 0..p {
+            let sent = report.ledger.rank_elements(rank) as f64;
+            assert!(
+                (sent - expected).abs() / expected < 0.01,
+                "rank {rank} sent {sent}, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_block_sums_own_region() {
+        let p = 4;
+        let n = 17;
+        let inputs = make_inputs(p, n, 3);
+        let expect = reference_sum(&inputs);
+        let report = Cluster::new(p, CostModel::aries()).run(|comm| {
+            reduce_scatter_block(comm, &inputs[comm.rank()])
+        });
+        let mut reconstructed = vec![0.0f32; n];
+        for (offset, chunk) in &report.results {
+            reconstructed[*offset..*offset + chunk.len()].copy_from_slice(chunk);
+        }
+        for (r, e) in reconstructed.iter().zip(&expect) {
+            assert!((r - e).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn allgather_items_pow2_and_ring() {
+        for p in [2usize, 4, 8, 3, 5] {
+            let report = Cluster::new(p, CostModel::aries()).run(|comm| {
+                let mine: Vec<u32> = vec![comm.rank() as u32; comm.rank() + 1];
+                allgather_items(comm, mine)
+            });
+            for got in &report.results {
+                for (r, item) in got.iter().enumerate() {
+                    assert_eq!(item, &vec![r as u32; r + 1], "p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_exchanges_personalized_items() {
+        for p in [1usize, 2, 3, 5, 8] {
+            let report = Cluster::new(p, CostModel::aries()).run(|comm| {
+                // Item for destination j encodes (my rank, j) with j+1 elements.
+                let items: Vec<Vec<u32>> = (0..comm.size())
+                    .map(|j| vec![(comm.rank() * 100 + j) as u32; j + 1])
+                    .collect();
+                alltoallv(comm, items)
+            });
+            for (rank, got) in report.results.iter().enumerate() {
+                assert_eq!(got.len(), p);
+                for (src, item) in got.iter().enumerate() {
+                    assert_eq!(item, &vec![(src * 100 + rank) as u32; rank + 1], "p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_from_each_root() {
+        for p in [2usize, 3, 4, 7, 8] {
+            for root in [0, p / 2, p - 1] {
+                let report = Cluster::new(p, CostModel::aries()).run(|comm| {
+                    let v = if comm.rank() == root { Some(vec![9.5f32, -1.0]) } else { None };
+                    broadcast(comm, root, v)
+                });
+                for got in &report.results {
+                    assert_eq!(got, &vec![9.5f32, -1.0], "p={p} root={root}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f64_allreduce_sums() {
+        for p in [2usize, 4, 5] {
+            let report = Cluster::new(p, CostModel::aries()).run(|comm| {
+                allreduce_sum_f64(comm, vec![comm.rank() as f64, 1.0])
+            });
+            let expect0: f64 = (0..p).map(|r| r as f64).sum();
+            for got in &report.results {
+                assert_eq!(got[0], expect0);
+                assert_eq!(got[1], p as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_noops() {
+        let report = Cluster::new(1, CostModel::aries()).run(|comm| {
+            let mut d = vec![1.0f32, 2.0];
+            allreduce_inplace(comm, &mut d);
+            let all = allgather_items(comm, vec![5u32]);
+            let b = broadcast(comm, 0, Some(7u32));
+            (d, all, b)
+        });
+        let (d, all, b) = &report.results[0];
+        assert_eq!(d, &vec![1.0, 2.0]);
+        assert_eq!(all, &vec![vec![5u32]]);
+        assert_eq!(*b, 7);
+        assert_eq!(report.ledger.total_elements(), 0);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # collectives — dense and baseline sparse allreduce algorithms
+//!
+//! The communication substrate of the reproduction. Contains:
+//!
+//! - [`dense`]: Rabenseifner's allreduce (recursive-halving reduce-scatter +
+//!   recursive-doubling allgather) with a ring fallback for non-power-of-two P,
+//!   generic allgather/allgatherv, broadcast, and a small f64 allreduce used for
+//!   Ok-Topk's boundary consensus. Dense allreduce achieves the `2n(P−1)/P`
+//!   bandwidth bound quoted in Table 1.
+//! - [`topk_a`]: the allgather-based sparse allreduce (TopkA, §2) — also the
+//!   transport of the Gaussiank baseline, which differs only in its selection
+//!   strategy (see `sparse::threshold::GaussianEstimator`).
+//! - [`topk_dsa`]: SparCML's dynamic sparse allreduce (TopkDSA) — sparse
+//!   reduce-scatter with fill-in and a switch-to-dense escape hatch, then allgatherv;
+//!   fill-in statistics are reported so §5.2's density-expansion numbers can be
+//!   reproduced.
+//! - [`gtopk`]: the gTopk reduction-tree/broadcast-tree allreduce with hierarchical
+//!   top-k re-selection at every level (`4k·log P` volume).
+//!
+//! All algorithms move real data over [`simnet`] and are tested against serial
+//! references; their measured traffic (from the simnet ledger) is compared against
+//! Table 1's analytic volumes in the `table1` harness.
+
+pub mod dense;
+pub mod gtopk;
+pub mod quantized;
+pub mod topk_a;
+pub mod topk_dsa;
+
+pub use dense::{
+    allgather_items, allreduce_inplace, allreduce_sum_f64, alltoallv, broadcast,
+    reduce_scatter_block,
+};
+pub use gtopk::gtopk_allreduce;
+pub use quantized::quantized_allgather_allreduce;
+pub use topk_a::topk_allgather_allreduce;
+pub use topk_dsa::{dsa_allreduce, DsaOutput, DsaStats};

@@ -1,0 +1,140 @@
+//! Property tests: every collective matches its serial reference on random inputs.
+
+use collectives::{
+    allgather_items, allreduce_inplace, broadcast, dsa_allreduce, gtopk_allreduce,
+    topk_allgather_allreduce,
+};
+use proptest::prelude::*;
+use simnet::{Cluster, CostModel};
+use sparse::select::topk_exact;
+use sparse::CooGradient;
+
+fn coo_close(a: &CooGradient, b: &CooGradient) -> bool {
+    a.indexes() == b.indexes()
+        && a.values()
+            .iter()
+            .zip(b.values())
+            .all(|(x, y)| (x - y).abs() <= 1e-4 * (1.0 + y.abs()))
+}
+
+fn inputs_strategy() -> impl Strategy<Value = (usize, Vec<Vec<f32>>)> {
+    (2usize..9, 8usize..120).prop_flat_map(|(p, n)| {
+        (
+            Just(p),
+            proptest::collection::vec(
+                proptest::collection::vec((-100i32..100).prop_map(|x| x as f32 * 0.01), n..=n),
+                p..=p,
+            ),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Dense allreduce equals the serial sum for every P (pow2 and not) and length.
+    #[test]
+    fn dense_allreduce_matches_serial((p, dense) in inputs_strategy()) {
+        let mut expect = vec![0.0f32; dense[0].len()];
+        for v in &dense {
+            for (e, x) in expect.iter_mut().zip(v) {
+                *e += x;
+            }
+        }
+        let report = Cluster::new(p, CostModel::aries()).run(|comm| {
+            let mut d = dense[comm.rank()].clone();
+            allreduce_inplace(comm, &mut d);
+            d
+        });
+        for got in &report.results {
+            for (g, e) in got.iter().zip(&expect) {
+                prop_assert!((g - e).abs() <= 1e-4 * (1.0 + e.abs()));
+            }
+        }
+    }
+
+    /// TopkA equals the serial sparse union-sum; every rank agrees.
+    #[test]
+    fn topk_a_matches_serial((p, dense) in inputs_strategy(), k in 1usize..16) {
+        let locals: Vec<CooGradient> = dense.iter().map(|d| topk_exact(d, k)).collect();
+        let mut expect = CooGradient::new();
+        for l in &locals {
+            expect.merge_sum_into(l);
+        }
+        let report = Cluster::new(p, CostModel::aries()).run(|comm| {
+            topk_allgather_allreduce(comm, locals[comm.rank()].clone())
+        });
+        for got in &report.results {
+            prop_assert!(coo_close(got, &expect));
+        }
+    }
+
+    /// TopkDSA computes the same union-sum as TopkA (they differ only in schedule).
+    #[test]
+    fn dsa_matches_topk_a((p, dense) in inputs_strategy(), k in 1usize..16) {
+        let n = dense[0].len();
+        let locals: Vec<CooGradient> = dense.iter().map(|d| topk_exact(d, k)).collect();
+        let mut expect = CooGradient::new();
+        for l in &locals {
+            expect.merge_sum_into(l);
+        }
+        let report = Cluster::new(p, CostModel::aries()).run(|comm| {
+            dsa_allreduce(comm, locals[comm.rank()].clone(), n)
+        });
+        // Compare as dense vectors: exact cancellations (a + (−a) = 0) may appear as
+        // an explicit zero in the serial union but be dropped by DSA's dense wire
+        // format — same vector, different support.
+        let expect_dense = expect.to_dense(n);
+        for out in &report.results {
+            let got = out.sum.to_dense(n);
+            for (g, e) in got.iter().zip(&expect_dense) {
+                prop_assert!((g - e).abs() <= 1e-4 * (1.0 + e.abs()));
+            }
+            prop_assert!(out.stats.output_nnz <= expect.nnz());
+        }
+    }
+
+    /// gTopk: all ranks agree, the result is ≤ k sparse, and its support is a subset
+    /// of the union of the inputs' supports.
+    #[test]
+    fn gtopk_invariants((p, dense) in inputs_strategy(), k in 1usize..16) {
+        let locals: Vec<CooGradient> = dense.iter().map(|d| topk_exact(d, k)).collect();
+        let union: std::collections::HashSet<u32> = locals
+            .iter()
+            .flat_map(|g| g.indexes().iter().copied())
+            .collect();
+        let report = Cluster::new(p, CostModel::aries()).run(|comm| {
+            gtopk_allreduce(comm, locals[comm.rank()].clone(), k)
+        });
+        let first = &report.results[0];
+        prop_assert!(first.nnz() <= k);
+        for got in &report.results {
+            prop_assert_eq!(got, first);
+        }
+        for (i, _) in first.iter() {
+            prop_assert!(union.contains(&i));
+        }
+    }
+
+    /// allgather/broadcast deliver intact data for any payload sizes.
+    #[test]
+    fn allgather_broadcast_roundtrip(p in 2usize..10, len in 0usize..40, root_sel in 0usize..10) {
+        let root = root_sel % p;
+        let report = Cluster::new(p, CostModel::aries()).run(|comm| {
+            let mine: Vec<f32> = (0..len + comm.rank()).map(|i| i as f32).collect();
+            let all = allgather_items(comm, mine);
+            let b = if comm.rank() == root {
+                broadcast(comm, root, Some(vec![comm.rank() as u32]))
+            } else {
+                broadcast::<_, Vec<u32>>(comm, root, None)
+            };
+            (all, b)
+        });
+        for (all, b) in &report.results {
+            prop_assert_eq!(b, &vec![root as u32]);
+            for (r, item) in all.iter().enumerate() {
+                prop_assert_eq!(item.len(), len + r);
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Configuration of the O(k) sparse allreduce.
+
+/// All tunables of Algorithm 1 plus the ablation switches for its optimizations.
+///
+/// Defaults follow the paper: τ (space repartition period) = 64 (§3.1.1),
+/// τ′ (threshold re-evaluation period) = 32 (§5.2; BERT uses 128), data-balancing
+/// trigger = 4× the mean (§5.3).
+#[derive(Clone, Debug)]
+pub struct OkTopkConfig {
+    /// Dense gradient length `n`.
+    pub n: usize,
+    /// Top-k target `k` (the paper's density is `k/n`).
+    pub k: usize,
+    /// τ: iterations between space repartitions.
+    pub space_repartition_period: usize,
+    /// τ′: iterations between exact threshold re-evaluations (local and global).
+    pub threshold_reeval_period: usize,
+    /// Run data balancing before the final allgatherv when
+    /// `max_chunk > balance_trigger × mean_chunk` (§3.1.2; paper uses 4.0).
+    pub balance_trigger: f64,
+    /// Messages per bucket in split-and-reduce (§3.1.1 bucketing optimization).
+    pub bucket_size: usize,
+    /// Ablation: balanced space repartition (true) vs naive equal-width regions.
+    pub balanced_partition: bool,
+    /// Ablation: destination rotation (true) vs everyone-hits-worker-i-at-step-i.
+    pub rotation: bool,
+    /// Ablation: enable the data-balancing step of balance-and-allgatherv.
+    pub data_balancing: bool,
+    /// Modeled local-reduction cost per merged element, seconds (charged via
+    /// `Comm::compute` while merging received shards). Zero disables compute
+    /// modeling inside the allreduce; the training harness sets a calibrated value.
+    pub merge_cost_per_elem: f64,
+}
+
+impl OkTopkConfig {
+    /// Paper-default configuration for a gradient of length `n` with `k` survivors.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(n > 0, "gradient length must be positive");
+        assert!(k > 0 && k <= n, "need 0 < k <= n (k={k}, n={n})");
+        Self {
+            n,
+            k,
+            space_repartition_period: 64,
+            threshold_reeval_period: 32,
+            balance_trigger: 4.0,
+            bucket_size: 8,
+            balanced_partition: true,
+            rotation: true,
+            data_balancing: true,
+            merge_cost_per_elem: 0.0,
+        }
+    }
+
+    /// Density `k/n`.
+    pub fn density(&self) -> f64 {
+        self.k as f64 / self.n as f64
+    }
+
+    /// Builder-style setters for the ablation harness.
+    /// Toggle the balanced space repartition (ablation: off = equal regions).
+    pub fn with_balanced_partition(mut self, on: bool) -> Self {
+        self.balanced_partition = on;
+        self
+    }
+
+    /// Toggle destination rotation in split-and-reduce.
+    pub fn with_rotation(mut self, on: bool) -> Self {
+        self.rotation = on;
+        self
+    }
+
+    /// Toggle the data-balancing step before the final allgatherv.
+    pub fn with_data_balancing(mut self, on: bool) -> Self {
+        self.data_balancing = on;
+        self
+    }
+
+    /// Set the split-and-reduce bucket size.
+    pub fn with_bucket_size(mut self, b: usize) -> Self {
+        assert!(b >= 1);
+        self.bucket_size = b;
+        self
+    }
+
+    /// Set τ (space repartition) and τ′ (threshold re-evaluation) periods.
+    pub fn with_periods(mut self, tau: usize, tau_prime: usize) -> Self {
+        assert!(tau >= 1 && tau_prime >= 1);
+        self.space_repartition_period = tau;
+        self.threshold_reeval_period = tau_prime;
+        self
+    }
+
+    /// Set the modeled per-element merge cost charged inside split-and-reduce.
+    pub fn with_merge_cost(mut self, per_elem: f64) -> Self {
+        self.merge_cost_per_elem = per_elem;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = OkTopkConfig::new(1000, 10);
+        assert_eq!(c.space_repartition_period, 64);
+        assert_eq!(c.threshold_reeval_period, 32);
+        assert_eq!(c.balance_trigger, 4.0);
+        assert!(c.balanced_partition && c.rotation && c.data_balancing);
+        assert!((c.density() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "k <= n")]
+    fn rejects_k_over_n() {
+        OkTopkConfig::new(10, 11);
+    }
+
+    #[test]
+    fn builders_flip_switches() {
+        let c = OkTopkConfig::new(100, 10)
+            .with_balanced_partition(false)
+            .with_rotation(false)
+            .with_data_balancing(false)
+            .with_bucket_size(3)
+            .with_periods(5, 7)
+            .with_merge_cost(1e-9);
+        assert!(!c.balanced_partition && !c.rotation && !c.data_balancing);
+        assert_eq!(c.bucket_size, 3);
+        assert_eq!(c.space_repartition_period, 5);
+        assert_eq!(c.threshold_reeval_period, 7);
+        assert_eq!(c.merge_cost_per_elem, 1e-9);
+    }
+}

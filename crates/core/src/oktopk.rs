@@ -1,0 +1,355 @@
+//! Algorithm 1: the O(k) sparse allreduce.
+
+use crate::balance::balance_and_allgatherv;
+use crate::config::OkTopkConfig;
+use crate::split_reduce::split_and_reduce;
+use collectives::{allgather_items, allreduce_sum_f64};
+use simnet::Net;
+use sparse::partition::{balanced_boundaries, consensus_boundaries, equal_boundaries};
+use sparse::select::{exact_threshold, select_ge};
+use sparse::threshold::{PeriodicExactEstimator, ThresholdEstimator};
+use sparse::CooGradient;
+
+/// Persistent state of the O(k) sparse allreduce across training iterations:
+/// the reused local/global thresholds and the agreed region boundaries.
+///
+/// One instance lives on each rank; all instances must be driven with the same
+/// iteration numbers (they exchange data collectively every call).
+pub struct OkTopk {
+    cfg: OkTopkConfig,
+    local_est: PeriodicExactEstimator,
+    global_th: f32,
+    boundaries: Vec<u32>,
+}
+
+/// Everything one `allreduce` call produces, including the instrumentation the
+/// paper's Figs. 6–7 report.
+#[derive(Clone, Debug)]
+pub struct OkTopkOutput {
+    /// `u_t`: the sparse sum restricted to the (approximate) global top-k support.
+    /// Identical on every rank.
+    pub update: CooGradient,
+    /// Indexes of this rank's local top-k entries that made it into the global
+    /// top-k (Algorithm 1 line 14) — the entries whose residual is cleared.
+    pub contributed: Vec<u32>,
+    /// Local selection threshold in effect this iteration.
+    pub local_th: f32,
+    /// Global selection threshold in effect this iteration.
+    pub global_th: f32,
+    /// Number of locally selected values (target: ≈ k).
+    pub local_nnz: usize,
+    /// Number of global top-k values (target: ≈ k).
+    pub global_nnz: usize,
+    /// Whether the data-balancing step ran (4× trigger, §3.1.2).
+    pub balanced: bool,
+}
+
+impl OkTopk {
+    /// Fresh allreduce state for the given configuration.
+    pub fn new(cfg: OkTopkConfig) -> Self {
+        let local_est = PeriodicExactEstimator::new(cfg.threshold_reeval_period);
+        Self { cfg, local_est, global_th: 0.0, boundaries: Vec::new() }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &OkTopkConfig {
+        &self.cfg
+    }
+
+    /// Current region boundaries (empty before the first call).
+    pub fn boundaries(&self) -> &[u32] {
+        &self.boundaries
+    }
+
+    /// Export the reused state (local threshold, global threshold, boundaries) for
+    /// checkpointing; restoring it with [`import_state`](Self::import_state) makes
+    /// a resumed run bit-identical to an uninterrupted one.
+    pub fn export_state(&self) -> (Option<f32>, f32, Vec<u32>) {
+        (self.local_est.cached(), self.global_th, self.boundaries.clone())
+    }
+
+    /// Restore state captured by [`export_state`](Self::export_state).
+    pub fn import_state(&mut self, local_th: Option<f32>, global_th: f32, boundaries: Vec<u32>) {
+        self.local_est.set_cached(local_th);
+        self.global_th = global_th;
+        self.boundaries = boundaries;
+    }
+
+    /// Whether iteration `t` re-evaluates thresholds (both local and global use τ′).
+    pub fn is_reeval_iteration(&self, t: usize) -> bool {
+        t == 1 || (t - 1).is_multiple_of(self.cfg.threshold_reeval_period)
+    }
+
+    /// Whether iteration `t` recomputes region boundaries.
+    pub fn is_repartition_iteration(&self, t: usize) -> bool {
+        t == 1 || (t - 1).is_multiple_of(self.cfg.space_repartition_period) || self.boundaries.is_empty()
+    }
+
+    /// One O(k) sparse allreduce of the accumulator `acc` at iteration `t` (1-based,
+    /// as in Algorithm 1). Collective: every rank must call with the same `t`.
+    pub fn allreduce<C: Net>(&mut self, comm: &mut C, acc: &[f32], t: usize) -> OkTopkOutput {
+        assert_eq!(acc.len(), self.cfg.n, "accumulator length must equal configured n");
+        assert!(t >= 1, "iterations are 1-based, as in Algorithm 1");
+        let p = comm.size();
+        let n = self.cfg.n as u32;
+
+        // Lines 2–4: local threshold, re-evaluated every τ′ iterations.
+        let local_th = self.local_est.threshold(t, acc, self.cfg.k);
+        let local = select_ge(acc, local_th);
+
+        // Lines 5–7: region boundaries, re-evaluated every τ iterations. Consensus
+        // is a P+1-element f64 allreduce — latency-only, amortized over τ.
+        if self.is_repartition_iteration(t) {
+            self.boundaries = if self.cfg.balanced_partition && p > 1 {
+                comm.set_phase("okt_boundary");
+                let mine = balanced_boundaries(local.indexes(), n, p);
+                let sum = allreduce_sum_f64(comm, mine);
+                consensus_boundaries(&sum, p, n)
+            } else {
+                equal_boundaries(n, p)
+            };
+        }
+
+        // Line 8: split and reduce.
+        let sr = split_and_reduce(comm, &self.cfg, &local, &self.boundaries);
+
+        // Lines 9–12: global threshold re-evaluation, every τ′ iterations. This is
+        // the expensive allgatherv the reuse strategy amortizes.
+        if self.is_reeval_iteration(t) {
+            comm.set_phase("okt_reeval_gather");
+            let all: Vec<CooGradient> = allgather_items(comm, sr.reduced_region.clone());
+            let values: Vec<f32> =
+                all.iter().flat_map(|g| g.values().iter().copied()).collect();
+            self.global_th = exact_threshold(&values, self.cfg.k);
+        }
+
+        // Line 13: balance and allgatherv over the global-threshold survivors.
+        let survivors = sr.reduced_region.filter_abs_ge(self.global_th);
+        let bal = balance_and_allgatherv(comm, &self.cfg, survivors);
+
+        // Line 14: indexes of local values that contributed to the global top-k.
+        let contributed = intersect_sorted(&sr.local_topk_indexes, bal.global_topk.indexes());
+
+        OkTopkOutput {
+            global_nnz: bal.global_nnz,
+            balanced: bal.balanced,
+            update: bal.global_topk,
+            contributed,
+            local_th,
+            global_th: self.global_th,
+            local_nnz: sr.local_nnz,
+        }
+    }
+}
+
+/// Intersection of two strictly increasing index lists (two-pointer merge).
+pub fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use simnet::{Cluster, CostModel};
+
+    fn random_accs(p: usize, n: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..p)
+            .map(|_| (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect()
+    }
+
+    /// Serial reference with the *same* selection semantics (threshold scans with
+    /// exact thresholds): Topk(Σᵢ Topk(accᵢ)).
+    fn reference(accs: &[Vec<f32>], k: usize) -> CooGradient {
+        let mut sum = CooGradient::new();
+        for acc in accs {
+            let th = exact_threshold(acc, k);
+            sum.merge_sum_into(&select_ge(acc, th));
+        }
+        let th = exact_threshold(sum.values(), k);
+        sum.filter_abs_ge(th)
+    }
+
+    #[test]
+    fn matches_semantic_with_fresh_thresholds() {
+        // τ′ = 1 forces exact thresholds every iteration → the result must equal
+        // Topk(Σ Topk(·)) exactly (up to f32 reassociation in the region sums).
+        for &(p, n, k) in &[(2usize, 120usize, 12usize), (4, 300, 30), (8, 512, 25), (6, 250, 20)] {
+            let accs = random_accs(p, n, 1000 + p as u64);
+            let expect = reference(&accs, k);
+            let report = Cluster::new(p, CostModel::aries()).run(|comm| {
+                let mut okt = OkTopk::new(OkTopkConfig::new(n, k).with_periods(1, 1));
+                okt.allreduce(comm, &accs[comm.rank()], 1)
+            });
+            for out in &report.results {
+                assert_eq!(out.update.indexes(), expect.indexes(), "p={p}");
+                for (x, y) in out.update.values().iter().zip(expect.values()) {
+                    assert!((x - y).abs() < 1e-4);
+                }
+                assert_eq!(out.global_nnz, expect.nnz());
+            }
+        }
+    }
+
+    #[test]
+    fn all_ranks_agree_across_iterations() {
+        let (p, n, k) = (4, 200, 16);
+        let report = Cluster::new(p, CostModel::aries()).run(|comm| {
+            let mut okt = OkTopk::new(OkTopkConfig::new(n, k).with_periods(4, 4));
+            let mut rng = StdRng::seed_from_u64(31 + comm.rank() as u64);
+            let mut updates = Vec::new();
+            for t in 1..=6 {
+                let acc: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                let out = okt.allreduce(comm, &acc, t);
+                updates.push(out.update);
+            }
+            updates
+        });
+        for r in 1..p {
+            assert_eq!(report.results[r], report.results[0], "rank {r} diverged");
+        }
+    }
+
+    #[test]
+    fn contributed_is_subset_of_both() {
+        let (p, n, k) = (4, 150, 15);
+        let accs = random_accs(p, n, 77);
+        let report = Cluster::new(p, CostModel::aries()).run(|comm| {
+            let mut okt = OkTopk::new(OkTopkConfig::new(n, k));
+            let out = okt.allreduce(comm, &accs[comm.rank()], 1);
+            let local_th = out.local_th;
+            (out, local_th, accs[comm.rank()].clone())
+        });
+        for (out, local_th, acc) in &report.results {
+            let global: std::collections::HashSet<u32> =
+                out.update.indexes().iter().copied().collect();
+            for &i in &out.contributed {
+                assert!(global.contains(&i));
+                assert!(acc[i as usize].abs() >= *local_th);
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_volume_within_6k_bound() {
+        // Two deterministic runs differing by one steady-state iteration isolate the
+        // per-iteration traffic; it must respect the paper's 6k(P−1)/P bound (with a
+        // small allowance because stale thresholds select ≈k, not exactly k).
+        let (p, n, k) = (8, 4096, 256);
+        let accs1 = random_accs(p, n, 5);
+        let accs2 = random_accs(p, n, 6); // same distribution → thresholds stay valid
+
+        let run = |iters: usize| {
+            let accs1 = accs1.clone();
+            let accs2 = accs2.clone();
+            Cluster::new(p, CostModel::aries())
+                .run(move |comm| {
+                    let mut okt =
+                        OkTopk::new(OkTopkConfig::new(n, k).with_periods(1000, 1000));
+                    for t in 1..=iters {
+                        let acc = if t == 1 { &accs1 } else { &accs2 };
+                        okt.allreduce(comm, &acc[comm.rank()], t);
+                    }
+                })
+                .ledger
+        };
+
+        let l1 = run(1);
+        let l2 = run(2);
+        let bound = 6.0 * k as f64 * (p - 1) as f64 / p as f64;
+        for rank in 0..p {
+            let steady = (l2.rank_elements(rank) - l1.rank_elements(rank)) as f64;
+            assert!(
+                steady <= bound * 1.10,
+                "rank {rank}: steady-state volume {steady} exceeds 6k(P-1)/P = {bound}"
+            );
+            assert!(steady > 0.0);
+        }
+    }
+
+    #[test]
+    fn steady_state_volume_at_least_lower_bound_total() {
+        // Theorem 3.1: every rank must receive ≥ 2k(P−1)/P elements, so the cluster
+        // total is ≥ 2k(P−1). (Sent == received in aggregate.)
+        let (p, n, k) = (8, 4096, 256);
+        let accs1 = random_accs(p, n, 5);
+        let accs2 = random_accs(p, n, 6);
+        let run = |iters: usize| {
+            let accs1 = accs1.clone();
+            let accs2 = accs2.clone();
+            Cluster::new(p, CostModel::aries())
+                .run(move |comm| {
+                    let mut okt =
+                        OkTopk::new(OkTopkConfig::new(n, k).with_periods(1000, 1000));
+                    for t in 1..=iters {
+                        let acc = if t == 1 { &accs1 } else { &accs2 };
+                        okt.allreduce(comm, &acc[comm.rank()], t);
+                    }
+                })
+                .ledger
+        };
+        let steady = run(2).total_elements() - run(1).total_elements();
+        // The global top-k holds ≈k entries; allow the threshold approximation ±25%.
+        let lower = (2.0 * k as f64 * (p - 1) as f64 * 0.75) as u64;
+        assert!(steady >= lower, "total steady volume {steady} < {lower}");
+    }
+
+    #[test]
+    fn single_rank_degenerates_to_local_topk() {
+        let n = 64;
+        let k = 8;
+        // Strictly increasing magnitudes: no ties, so threshold selection is exact.
+        let acc: Vec<f32> = (0..n).map(|i| (i as f32 + 1.0) * 0.1).collect();
+        let report = Cluster::new(1, CostModel::free()).run(|comm| {
+            let mut okt = OkTopk::new(OkTopkConfig::new(n, k));
+            okt.allreduce(comm, &acc, 1)
+        });
+        let out = &report.results[0];
+        let expect = sparse::select::topk_exact(&acc, k);
+        assert_eq!(out.update.indexes(), expect.indexes());
+        assert_eq!(out.contributed, expect.indexes());
+    }
+
+    #[test]
+    fn intersect_sorted_basics() {
+        assert_eq!(intersect_sorted(&[1, 3, 5, 9], &[2, 3, 9, 10]), vec![3, 9]);
+        assert_eq!(intersect_sorted(&[], &[1]), Vec::<u32>::new());
+        assert_eq!(intersect_sorted(&[7], &[7]), vec![7]);
+        assert_eq!(intersect_sorted(&[1, 2], &[3, 4]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn naive_partition_ablation_still_correct() {
+        let (p, n, k) = (4, 300, 30);
+        let accs = random_accs(p, n, 13);
+        let expect = reference(&accs, k);
+        let report = Cluster::new(p, CostModel::aries()).run(|comm| {
+            let mut okt = OkTopk::new(
+                OkTopkConfig::new(n, k)
+                    .with_periods(1, 1)
+                    .with_balanced_partition(false)
+                    .with_rotation(false)
+                    .with_data_balancing(false),
+            );
+            okt.allreduce(comm, &accs[comm.rank()], 1)
+        });
+        for out in &report.results {
+            assert_eq!(out.update.indexes(), expect.indexes());
+        }
+    }
+}

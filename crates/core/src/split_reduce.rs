@@ -1,0 +1,210 @@
+//! Phase 1 of Algorithm 1: *split and reduce* (§3.1.1, Figs. 1–2).
+//!
+//! Each worker selects its local top-k values (by the reused threshold), splits them
+//! into P regions along the agreed boundaries, and sends region `j` to worker `j`.
+//! Worker `j` merges the P incoming shards into the reduced partial sum of its
+//! region. Two communication optimizations from the paper:
+//!
+//! - **Destination rotation** (Fig. 2b): at step `s`, worker `i` targets worker
+//!   `(i+s) mod P`, so no single endpoint is hit by everyone at once.
+//! - **Bucketing**: sends are issued in buckets of non-blocking messages; the local
+//!   reduction of the previous bucket's arrivals overlaps the current bucket's
+//!   transfers.
+
+use crate::config::OkTopkConfig;
+use simnet::Net;
+use sparse::CooGradient;
+
+const TAG_SPLIT: u64 = 0x40;
+
+/// Result of split-and-reduce on one worker.
+pub struct SplitReduceOutput {
+    /// Sum over all workers of their local top-k entries falling in *my* region.
+    pub reduced_region: CooGradient,
+    /// Indexes of my local top-k selection (needed for the residual update).
+    pub local_topk_indexes: Vec<u32>,
+    /// Number of local top-k values selected (Fig. 6 instrumentation).
+    pub local_nnz: usize,
+}
+
+/// Run split-and-reduce: `local` is this worker's threshold-selected sparse
+/// accumulator, `boundaries` the agreed `P+1` region boundaries.
+pub fn split_and_reduce<C: Net>(
+    comm: &mut C,
+    cfg: &OkTopkConfig,
+    local: &CooGradient,
+    boundaries: &[u32],
+) -> SplitReduceOutput {
+    comm.set_phase("okt_split_reduce");
+    let p = comm.size();
+    let rank = comm.rank();
+    let local_topk_indexes = local.indexes().to_vec();
+    let local_nnz = local.nnz();
+
+    if p == 1 {
+        return SplitReduceOutput {
+            reduced_region: local.clone(),
+            local_topk_indexes,
+            local_nnz,
+        };
+    }
+
+    let shards = local.split_by_boundaries(boundaries);
+    debug_assert_eq!(shards.len(), p);
+
+    // Step s (1-based) pairs: send to (rank+s) mod P, receive from (rank−s) mod P.
+    // Without rotation, everyone walks destinations in the same 0..P order — the
+    // naive pattern of Fig. 2a that congests one endpoint per step.
+    let send_order: Vec<usize> = if cfg.rotation {
+        (1..p).map(|s| (rank + s) % p).collect()
+    } else {
+        (0..p).filter(|&d| d != rank).collect()
+    };
+    let recv_order: Vec<usize> = if cfg.rotation {
+        (1..p).map(|s| (rank + p - s) % p).collect()
+    } else {
+        (0..p).filter(|&d| d != rank).collect()
+    };
+
+    let mut acc = shards[rank].clone();
+    let bucket = cfg.bucket_size.max(1);
+    let mut sent = 0usize;
+    let mut received = 0usize;
+    while sent < send_order.len() || received < recv_order.len() {
+        // Fire the next bucket of non-blocking sends…
+        let send_hi = (sent + bucket).min(send_order.len());
+        for &dst in &send_order[sent..send_hi] {
+            comm.send(dst, TAG_SPLIT, shards[dst].clone());
+        }
+        sent = send_hi;
+        // …then drain and reduce the matching bucket of arrivals (this merge
+        // overlaps, in modeled time, with the next bucket's transfers).
+        let recv_hi = (received + bucket).min(recv_order.len());
+        for &src in &recv_order[received..recv_hi] {
+            let got: CooGradient = comm.recv(src, TAG_SPLIT);
+            let merged = acc.nnz() + got.nnz();
+            acc.merge_sum_into(&got);
+            if cfg.merge_cost_per_elem > 0.0 {
+                comm.compute(cfg.merge_cost_per_elem * merged as f64);
+            }
+        }
+        received = recv_hi;
+    }
+
+    SplitReduceOutput { reduced_region: acc, local_topk_indexes, local_nnz }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use simnet::{Cluster, CostModel};
+    use sparse::partition::equal_boundaries;
+    use sparse::select::topk_exact;
+
+    fn run_split_reduce(
+        p: usize,
+        n: usize,
+        k: usize,
+        seed: u64,
+        cfg_mod: impl Fn(OkTopkConfig) -> OkTopkConfig,
+    ) -> (Vec<CooGradient>, Vec<CooGradient>, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let locals: Vec<CooGradient> = (0..p)
+            .map(|_| {
+                let dense: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                topk_exact(&dense, k)
+            })
+            .collect();
+        let cfg = cfg_mod(OkTopkConfig::new(n, k));
+        let bounds = equal_boundaries(n as u32, p);
+        let report = Cluster::new(p, CostModel::aries()).run(|comm| {
+            split_and_reduce(comm, &cfg, &locals[comm.rank()].clone(), &bounds).reduced_region
+        });
+        let makespan = report.makespan();
+        (locals, report.results, makespan)
+    }
+
+    fn check_regions(p: usize, n: usize, locals: &[CooGradient], regions: &[CooGradient]) {
+        // Reference: serial merge of everything, then split by the same boundaries.
+        let mut total = CooGradient::new();
+        for l in locals {
+            total.merge_sum_into(l);
+        }
+        let bounds = equal_boundaries(n as u32, p);
+        let expect = total.split_by_boundaries(&bounds);
+        for (got, want) in regions.iter().zip(&expect) {
+            assert_eq!(got.indexes(), want.indexes());
+            for (x, y) in got.values().iter().zip(want.values()) {
+                assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn regions_hold_global_partial_sums() {
+        for &(p, n, k) in &[(2usize, 100usize, 10usize), (4, 256, 32), (8, 512, 40), (5, 300, 25)] {
+            let (locals, regions, _) = run_split_reduce(p, n, k, p as u64, |c| c);
+            check_regions(p, n, &locals, &regions);
+        }
+    }
+
+    #[test]
+    fn correct_without_rotation_and_tiny_buckets() {
+        let (p, n, k) = (8, 400, 30);
+        let (locals, regions, _) =
+            run_split_reduce(p, n, k, 3, |c| c.with_rotation(false).with_bucket_size(1));
+        check_regions(p, n, &locals, &regions);
+    }
+
+    #[test]
+    fn rotation_improves_modeled_makespan() {
+        // With equal regions and uniform data, rotation pipelines reception ports;
+        // the naive all-hit-one-endpoint schedule serializes them.
+        let (p, n, k) = (16, 20_000, 2_000);
+        let (_, _, t_rot) = run_split_reduce(p, n, k, 7, |c| c.with_rotation(true));
+        let (_, _, t_naive) = run_split_reduce(p, n, k, 7, |c| c.with_rotation(false));
+        assert!(
+            t_rot < t_naive * 0.95,
+            "rotation {t_rot} should beat naive {t_naive}"
+        );
+    }
+
+    #[test]
+    fn single_rank_is_identity() {
+        let local = CooGradient::from_sorted(vec![1, 3], vec![0.5, -1.0]);
+        let cfg = OkTopkConfig::new(10, 2);
+        let report = Cluster::new(1, CostModel::free()).run(|comm| {
+            let out = split_and_reduce(comm, &cfg, &local.clone(), &[0, 10]);
+            (out.reduced_region, out.local_topk_indexes, out.local_nnz)
+        });
+        let (region, idx, nnz) = &report.results[0];
+        assert_eq!(region, &local);
+        assert_eq!(idx, &vec![1, 3]);
+        assert_eq!(*nnz, 2);
+    }
+
+    #[test]
+    fn volume_is_at_most_2k_fraction_with_balanced_load() {
+        // Uniform random supports on equal regions: each rank sends ≈ 2k(P−1)/P.
+        let (p, n, k) = (8, 8192, 512);
+        let mut rng = StdRng::seed_from_u64(21);
+        let locals: Vec<CooGradient> = (0..p)
+            .map(|_| {
+                let dense: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                topk_exact(&dense, k)
+            })
+            .collect();
+        let cfg = OkTopkConfig::new(n, k);
+        let bounds = equal_boundaries(n as u32, p);
+        let report = Cluster::new(p, CostModel::aries()).run(|comm| {
+            split_and_reduce(comm, &cfg, &locals[comm.rank()].clone(), &bounds);
+        });
+        let bound = 2.0 * k as f64 * (p - 1) as f64 / p as f64;
+        for rank in 0..p {
+            let sent = report.ledger.rank_elements(rank) as f64;
+            // Uniform supports keep each rank within ~15% of the ideal share.
+            assert!(sent <= bound * 1.15, "rank {rank}: sent {sent} > {bound}×1.15");
+        }
+    }
+}

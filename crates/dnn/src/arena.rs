@@ -1,0 +1,149 @@
+//! Flat parameter/gradient storage shared by all layers of a model.
+
+use rand::prelude::*;
+
+/// A layer's view into the arena: `len` consecutive f32s starting at `offset`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Slot {
+    /// First element of the slot in the arena.
+    pub offset: usize,
+    /// Number of elements.
+    pub len: usize,
+}
+
+impl Slot {
+    fn range(&self) -> std::ops::Range<usize> {
+        self.offset..self.offset + self.len
+    }
+}
+
+/// Contiguous parameter and gradient storage.
+///
+/// Keeping the whole model in two flat vectors makes the gradient a single dense
+/// slice, which is what every allreduce variant in this workspace consumes, and
+/// makes "apply this sparse update to the model" a scatter.
+#[derive(Clone, Debug, Default)]
+pub struct Arena {
+    params: Vec<f32>,
+    grads: Vec<f32>,
+}
+
+impl Arena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate `len` parameters initialized by `init` (called once per element).
+    pub fn alloc_with(&mut self, len: usize, mut init: impl FnMut() -> f32) -> Slot {
+        let offset = self.params.len();
+        self.params.extend(std::iter::repeat_with(&mut init).take(len));
+        self.grads.resize(self.params.len(), 0.0);
+        Slot { offset, len }
+    }
+
+    /// Allocate `len` zero-initialized parameters (biases).
+    pub fn alloc_zeros(&mut self, len: usize) -> Slot {
+        self.alloc_with(len, || 0.0)
+    }
+
+    /// Allocate with uniform init in `[-bound, bound]` (Kaiming/Xavier-style bounds
+    /// are computed by the layers).
+    pub fn alloc_uniform(&mut self, len: usize, bound: f32, rng: &mut StdRng) -> Slot {
+        self.alloc_with(len, || rng.gen_range(-bound..=bound))
+    }
+
+    /// Total number of parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the arena holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Parameters of one slot.
+    pub fn p(&self, s: Slot) -> &[f32] {
+        &self.params[s.range()]
+    }
+
+    /// Gradients of one slot.
+    pub fn g(&self, s: Slot) -> &[f32] {
+        &self.grads[s.range()]
+    }
+
+    /// Simultaneous read-params / write-grads views of one slot — the shape every
+    /// backward pass needs.
+    pub fn pg_mut(&mut self, s: Slot) -> (&[f32], &mut [f32]) {
+        (&self.params[s.range()], &mut self.grads[s.range()])
+    }
+
+    /// The entire parameter vector (for the optimizer / allreduce).
+    pub fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    /// Mutable view of the entire parameter vector.
+    pub fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.params
+    }
+
+    /// The entire gradient vector.
+    pub fn grads(&self) -> &[f32] {
+        &self.grads
+    }
+
+    /// Mutable view of the entire gradient vector.
+    pub fn grads_mut(&mut self) -> &mut [f32] {
+        &mut self.grads
+    }
+
+    /// Reset all gradients to zero.
+    pub fn zero_grads(&mut self) {
+        self.grads.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_disjoint_and_ordered() {
+        let mut a = Arena::new();
+        let s1 = a.alloc_zeros(3);
+        let s2 = a.alloc_with(2, || 1.5);
+        assert_eq!(s1, Slot { offset: 0, len: 3 });
+        assert_eq!(s2, Slot { offset: 3, len: 2 });
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.p(s2), &[1.5, 1.5]);
+        assert_eq!(a.p(s1), &[0.0; 3]);
+    }
+
+    #[test]
+    fn pg_mut_allows_read_write() {
+        let mut a = Arena::new();
+        let s = a.alloc_with(2, || 2.0);
+        {
+            let (p, g) = a.pg_mut(s);
+            g[0] = p[0] * 3.0;
+            g[1] = p[1] * 4.0;
+        }
+        assert_eq!(a.g(s), &[6.0, 8.0]);
+        a.zero_grads();
+        assert_eq!(a.g(s), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn uniform_init_respects_bounds_and_seed() {
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        let mut a1 = Arena::new();
+        let mut a2 = Arena::new();
+        let s1 = a1.alloc_uniform(100, 0.25, &mut r1);
+        let s2 = a2.alloc_uniform(100, 0.25, &mut r2);
+        assert_eq!(a1.p(s1), a2.p(s2));
+        assert!(a1.p(s1).iter().all(|v| v.abs() <= 0.25));
+    }
+}

@@ -1,0 +1,268 @@
+//! Multi-head self-attention (the transformer building block of BertLite).
+
+use crate::arena::Arena;
+use crate::layers::Linear;
+use crate::ops::softmax_rows;
+use rand::prelude::*;
+
+/// Multi-head scaled-dot-product self-attention with learned Q/K/V/O projections.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiHeadAttention {
+    /// Model (embedding) dimension.
+    pub d_model: usize,
+    /// Number of attention heads (must divide `d_model`).
+    pub heads: usize,
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+}
+
+/// Forward cache for backward.
+pub struct AttnCache {
+    q: Vec<f32>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    /// `[batch, heads, seq, seq]` attention weights (post-softmax).
+    attn: Vec<f32>,
+    /// `[batch·seq, d_model]` concatenated head outputs (input of the O projection).
+    concat: Vec<f32>,
+}
+
+impl MultiHeadAttention {
+    /// New attention block with fresh Q/K/V/O projections.
+    pub fn new(arena: &mut Arena, rng: &mut StdRng, d_model: usize, heads: usize) -> Self {
+        assert_eq!(d_model % heads, 0, "d_model must be divisible by heads");
+        Self {
+            d_model,
+            heads,
+            wq: Linear::new(arena, rng, d_model, d_model),
+            wk: Linear::new(arena, rng, d_model, d_model),
+            wv: Linear::new(arena, rng, d_model, d_model),
+            wo: Linear::new(arena, rng, d_model, d_model),
+        }
+    }
+
+    /// `x`: `[batch·seq, d_model]` → `(y, cache)`, same shape.
+    pub fn forward(&self, arena: &Arena, x: &[f32], batch: usize, seq: usize) -> (Vec<f32>, AttnCache) {
+        let d = self.d_model;
+        let h = self.heads;
+        let dh = d / h;
+        let rows = batch * seq;
+        debug_assert_eq!(x.len(), rows * d);
+
+        let q = self.wq.forward(arena, x, rows);
+        let k = self.wk.forward(arena, x, rows);
+        let v = self.wv.forward(arena, x, rows);
+
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut attn = vec![0.0f32; batch * h * seq * seq];
+        let mut concat = vec![0.0f32; rows * d];
+        for b in 0..batch {
+            for hd in 0..h {
+                let abase = ((b * h) + hd) * seq * seq;
+                // scores[i, j] = q_i · k_j · scale within this head's slice.
+                for i in 0..seq {
+                    let qrow = &q[(b * seq + i) * d + hd * dh..(b * seq + i) * d + (hd + 1) * dh];
+                    for j in 0..seq {
+                        let krow =
+                            &k[(b * seq + j) * d + hd * dh..(b * seq + j) * d + (hd + 1) * dh];
+                        let mut s = 0.0f32;
+                        for (a, bb) in qrow.iter().zip(krow) {
+                            s += a * bb;
+                        }
+                        attn[abase + i * seq + j] = s * scale;
+                    }
+                }
+                softmax_rows(&mut attn[abase..abase + seq * seq], seq, seq);
+                // out_i = Σ_j attn[i,j] · v_j
+                for i in 0..seq {
+                    let orow = &mut concat
+                        [(b * seq + i) * d + hd * dh..(b * seq + i) * d + (hd + 1) * dh];
+                    for j in 0..seq {
+                        let a = attn[abase + i * seq + j];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let vrow =
+                            &v[(b * seq + j) * d + hd * dh..(b * seq + j) * d + (hd + 1) * dh];
+                        for (o, &vv) in orow.iter_mut().zip(vrow) {
+                            *o += a * vv;
+                        }
+                    }
+                }
+            }
+        }
+        let y = self.wo.forward(arena, &concat, rows);
+        (y, AttnCache { q, k, v, attn, concat })
+    }
+
+    /// Accumulates all projection grads; returns `dx`.
+    pub fn backward(
+        &self,
+        arena: &mut Arena,
+        x: &[f32],
+        cache: &AttnCache,
+        dy: &[f32],
+        batch: usize,
+        seq: usize,
+    ) -> Vec<f32> {
+        let d = self.d_model;
+        let h = self.heads;
+        let dh = d / h;
+        let rows = batch * seq;
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let dconcat = self.wo.backward(arena, &cache.concat, dy, rows);
+
+        let mut dq = vec![0.0f32; rows * d];
+        let mut dk = vec![0.0f32; rows * d];
+        let mut dv = vec![0.0f32; rows * d];
+        for b in 0..batch {
+            for hd in 0..h {
+                let abase = ((b * h) + hd) * seq * seq;
+                // dattn[i,j] = dconcat_i · v_j ; dv_j += Σ_i attn[i,j]·dconcat_i
+                let mut dattn = vec![0.0f32; seq * seq];
+                for i in 0..seq {
+                    let drow = &dconcat
+                        [(b * seq + i) * d + hd * dh..(b * seq + i) * d + (hd + 1) * dh];
+                    for j in 0..seq {
+                        let vrow = &cache.v
+                            [(b * seq + j) * d + hd * dh..(b * seq + j) * d + (hd + 1) * dh];
+                        let mut s = 0.0f32;
+                        for (a, bb) in drow.iter().zip(vrow) {
+                            s += a * bb;
+                        }
+                        dattn[i * seq + j] = s;
+                        let a = cache.attn[abase + i * seq + j];
+                        if a != 0.0 {
+                            let dvrow = &mut dv
+                                [(b * seq + j) * d + hd * dh..(b * seq + j) * d + (hd + 1) * dh];
+                            for (dvv, &dd) in dvrow.iter_mut().zip(drow) {
+                                *dvv += a * dd;
+                            }
+                        }
+                    }
+                }
+                // Softmax backward per row: ds = attn ⊙ (dattn − Σⱼ dattn·attn).
+                for i in 0..seq {
+                    let arow = &cache.attn[abase + i * seq..abase + (i + 1) * seq];
+                    let drow = &mut dattn[i * seq..(i + 1) * seq];
+                    let dot: f32 = arow.iter().zip(drow.iter()).map(|(&a, &d)| a * d).sum();
+                    for (dd, &a) in drow.iter_mut().zip(arow) {
+                        *dd = a * (*dd - dot) * scale;
+                    }
+                }
+                // dq_i += Σⱼ ds[i,j]·k_j ; dk_j += Σᵢ ds[i,j]·q_i
+                for i in 0..seq {
+                    let dqrow =
+                        &mut dq[(b * seq + i) * d + hd * dh..(b * seq + i) * d + (hd + 1) * dh];
+                    for j in 0..seq {
+                        let s = dattn[i * seq + j];
+                        if s == 0.0 {
+                            continue;
+                        }
+                        let krow = &cache.k
+                            [(b * seq + j) * d + hd * dh..(b * seq + j) * d + (hd + 1) * dh];
+                        for (dd, &kk) in dqrow.iter_mut().zip(krow) {
+                            *dd += s * kk;
+                        }
+                    }
+                }
+                for j in 0..seq {
+                    let dkrow =
+                        &mut dk[(b * seq + j) * d + hd * dh..(b * seq + j) * d + (hd + 1) * dh];
+                    for i in 0..seq {
+                        let s = dattn[i * seq + j];
+                        if s == 0.0 {
+                            continue;
+                        }
+                        let qrow = &cache.q
+                            [(b * seq + i) * d + hd * dh..(b * seq + i) * d + (hd + 1) * dh];
+                        for (dd, &qq) in dkrow.iter_mut().zip(qrow) {
+                            *dd += s * qq;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut dx = self.wq.backward(arena, x, &dq, rows);
+        for (a, b) in dx.iter_mut().zip(self.wk.backward(arena, x, &dk, rows)) {
+            *a += b;
+        }
+        for (a, b) in dx.iter_mut().zip(self.wv.backward(arena, x, &dv, rows)) {
+            *a += b;
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck::check_param_grads;
+
+    #[test]
+    fn output_shape_and_softmax_rows_sum_to_one() {
+        let mut arena = Arena::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let attn = MultiHeadAttention::new(&mut arena, &mut rng, 8, 2);
+        let (batch, seq) = (2, 3);
+        let x: Vec<f32> = (0..batch * seq * 8).map(|i| ((i as f32) * 0.13).sin()).collect();
+        let (y, cache) = attn.forward(&arena, &x, batch, seq);
+        assert_eq!(y.len(), x.len());
+        for b in 0..batch {
+            for h in 0..2 {
+                for i in 0..seq {
+                    let base = ((b * 2) + h) * seq * seq + i * seq;
+                    let s: f32 = cache.attn[base..base + seq].iter().sum();
+                    assert!((s - 1.0).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_match_numerical() {
+        let mut arena = Arena::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let attn = MultiHeadAttention::new(&mut arena, &mut rng, 4, 2);
+        let (batch, seq) = (1, 3);
+        let x: Vec<f32> = (0..batch * seq * 4).map(|i| ((i as f32) * 0.29).cos() * 0.6).collect();
+
+        let mut loss_fn = |a: &Arena| -> f64 {
+            let (y, _) = attn.forward(a, &x, batch, seq);
+            y.iter().map(|&v| 0.5 * (v as f64) * (v as f64)).sum()
+        };
+
+        let (y, cache) = attn.forward(&arena, &x, batch, seq);
+        arena.zero_grads();
+        let dx = attn.backward(&mut arena, &x, &cache, &y, batch, seq);
+        let analytic = arena.grads().to_vec();
+        check_param_grads(&mut arena, &mut loss_fn, &analytic, 3e-2);
+
+        // Input gradient spot-check.
+        let eps = 1e-3f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let fp: f64 = {
+                let (y, _) = attn.forward(&arena, &xp, batch, seq);
+                y.iter().map(|&v| 0.5 * (v as f64) * (v as f64)).sum()
+            };
+            let fm: f64 = {
+                let (y, _) = attn.forward(&arena, &xm, batch, seq);
+                y.iter().map(|&v| 0.5 * (v as f64) * (v as f64)).sum()
+            };
+            let num = ((fp - fm) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (num - dx[i]).abs() < 3e-2 * 1.0f32.max(num.abs()),
+                "x {i}: {num} vs {}",
+                dx[i]
+            );
+        }
+    }
+}

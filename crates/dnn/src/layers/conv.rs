@@ -1,0 +1,296 @@
+//! 2-D convolution and max-pooling (NCHW, 3×3 kernels, stride 1, padding 1).
+
+use crate::arena::{Arena, Slot};
+use rand::prelude::*;
+
+/// 3×3 same-padding convolution: input `[batch, in_ch, h, w]`, output
+/// `[batch, out_ch, h, w]`. Weights `[out_ch, in_ch, 3, 3]`, bias `[out_ch]`.
+#[derive(Clone, Copy, Debug)]
+pub struct Conv2d {
+    /// Input channels.
+    pub in_ch: usize,
+    /// Output channels.
+    pub out_ch: usize,
+    w: Slot,
+    b: Slot,
+}
+
+const K: usize = 3;
+const PAD: isize = 1;
+
+impl Conv2d {
+    /// New 3×3 convolution with Kaiming-uniform init.
+    pub fn new(arena: &mut Arena, rng: &mut StdRng, in_ch: usize, out_ch: usize) -> Self {
+        let fan_in = (in_ch * K * K) as f32;
+        let bound = (6.0 / fan_in).sqrt();
+        let w = arena.alloc_uniform(out_ch * in_ch * K * K, bound, rng);
+        let b = arena.alloc_zeros(out_ch);
+        Self { in_ch, out_ch, w, b }
+    }
+
+    /// Forward convolution over `[batch, in_ch, h, wd]` input.
+    #[allow(clippy::needless_range_loop)] // index arithmetic mirrors the NCHW math
+    pub fn forward(&self, arena: &Arena, x: &[f32], batch: usize, h: usize, wd: usize) -> Vec<f32> {
+        debug_assert_eq!(x.len(), batch * self.in_ch * h * wd);
+        let weights = arena.p(self.w);
+        let bias = arena.p(self.b);
+        let mut y = vec![0.0f32; batch * self.out_ch * h * wd];
+        for n in 0..batch {
+            for oc in 0..self.out_ch {
+                let ybase = ((n * self.out_ch) + oc) * h * wd;
+                y[ybase..ybase + h * wd].fill(bias[oc]);
+                for ic in 0..self.in_ch {
+                    let xbase = ((n * self.in_ch) + ic) * h * wd;
+                    let wbase = ((oc * self.in_ch) + ic) * K * K;
+                    for ky in 0..K {
+                        for kx in 0..K {
+                            let wv = weights[wbase + ky * K + kx];
+                            if wv == 0.0 {
+                                continue;
+                            }
+                            let dy = ky as isize - PAD;
+                            let dx = kx as isize - PAD;
+                            let y0 = (-dy).max(0) as usize;
+                            let y1 = (h as isize - dy).min(h as isize) as usize;
+                            let x0 = (-dx).max(0) as usize;
+                            let x1 = (wd as isize - dx).min(wd as isize) as usize;
+                            for iy in y0..y1 {
+                                let sy = (iy as isize + dy) as usize;
+                                let yrow = ybase + iy * wd;
+                                let xrow = xbase + sy * wd;
+                                for ix in x0..x1 {
+                                    let sx = (ix as isize + dx) as usize;
+                                    y[yrow + ix] += wv * x[xrow + sx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    /// Accumulates weight/bias grads; returns `dx`.
+    #[allow(clippy::needless_range_loop)]
+    pub fn backward(
+        &self,
+        arena: &mut Arena,
+        x: &[f32],
+        dy: &[f32],
+        batch: usize,
+        h: usize,
+        wd: usize,
+    ) -> Vec<f32> {
+        let mut dx = vec![0.0f32; x.len()];
+        {
+            let (_, gb) = arena.pg_mut(self.b);
+            for n in 0..batch {
+                for oc in 0..self.out_ch {
+                    let ybase = ((n * self.out_ch) + oc) * h * wd;
+                    gb[oc] += dy[ybase..ybase + h * wd].iter().sum::<f32>();
+                }
+            }
+        }
+        {
+            let (_, gw) = arena.pg_mut(self.w);
+            for n in 0..batch {
+                for oc in 0..self.out_ch {
+                    let ybase = ((n * self.out_ch) + oc) * h * wd;
+                    for ic in 0..self.in_ch {
+                        let xbase = ((n * self.in_ch) + ic) * h * wd;
+                        let wbase = ((oc * self.in_ch) + ic) * K * K;
+                        for ky in 0..K {
+                            for kx in 0..K {
+                                let dyk = ky as isize - PAD;
+                                let dxk = kx as isize - PAD;
+                                let y0 = (-dyk).max(0) as usize;
+                                let y1 = (h as isize - dyk).min(h as isize) as usize;
+                                let x0 = (-dxk).max(0) as usize;
+                                let x1 = (wd as isize - dxk).min(wd as isize) as usize;
+                                let mut acc = 0.0f32;
+                                for iy in y0..y1 {
+                                    let sy = (iy as isize + dyk) as usize;
+                                    let yrow = ybase + iy * wd;
+                                    let xrow = xbase + sy * wd;
+                                    for ix in x0..x1 {
+                                        let sx = (ix as isize + dxk) as usize;
+                                        acc += dy[yrow + ix] * x[xrow + sx];
+                                    }
+                                }
+                                gw[wbase + ky * K + kx] += acc;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let weights = arena.p(self.w);
+        for n in 0..batch {
+            for oc in 0..self.out_ch {
+                let ybase = ((n * self.out_ch) + oc) * h * wd;
+                for ic in 0..self.in_ch {
+                    let xbase = ((n * self.in_ch) + ic) * h * wd;
+                    let wbase = ((oc * self.in_ch) + ic) * K * K;
+                    for ky in 0..K {
+                        for kx in 0..K {
+                            let wv = weights[wbase + ky * K + kx];
+                            if wv == 0.0 {
+                                continue;
+                            }
+                            let dyk = ky as isize - PAD;
+                            let dxk = kx as isize - PAD;
+                            let y0 = (-dyk).max(0) as usize;
+                            let y1 = (h as isize - dyk).min(h as isize) as usize;
+                            let x0 = (-dxk).max(0) as usize;
+                            let x1 = (wd as isize - dxk).min(wd as isize) as usize;
+                            for iy in y0..y1 {
+                                let sy = (iy as isize + dyk) as usize;
+                                let yrow = ybase + iy * wd;
+                                let xrow = xbase + sy * wd;
+                                for ix in x0..x1 {
+                                    let sx = (ix as isize + dxk) as usize;
+                                    dx[xrow + sx] += dy[yrow + ix] * wv;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+}
+
+/// 2×2 max pooling with stride 2. Input `[batch, ch, h, w]` (h, w even), output
+/// `[batch, ch, h/2, w/2]`; also returns the argmax indexes for backward.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxPool2d;
+
+impl MaxPool2d {
+    /// Forward pooling; returns the pooled map and argmax indexes for backward.
+    pub fn forward(x: &[f32], batch: usize, ch: usize, h: usize, w: usize) -> (Vec<f32>, Vec<u32>) {
+        debug_assert!(h.is_multiple_of(2) && w.is_multiple_of(2));
+        let (oh, ow) = (h / 2, w / 2);
+        let mut y = vec![0.0f32; batch * ch * oh * ow];
+        let mut arg = vec![0u32; y.len()];
+        for nc in 0..batch * ch {
+            let xb = nc * h * w;
+            let yb = nc * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = 0usize;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let i = xb + (2 * oy + dy) * w + 2 * ox + dx;
+                            if x[i] > best {
+                                best = x[i];
+                                best_i = i;
+                            }
+                        }
+                    }
+                    y[yb + oy * ow + ox] = best;
+                    arg[yb + oy * ow + ox] = best_i as u32;
+                }
+            }
+        }
+        (y, arg)
+    }
+
+    /// Scatter the pooled gradient back to the argmax positions.
+    pub fn backward(dy: &[f32], arg: &[u32], input_len: usize) -> Vec<f32> {
+        let mut dx = vec![0.0f32; input_len];
+        for (d, &a) in dy.iter().zip(arg) {
+            dx[a as usize] += d;
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck::check_param_grads;
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        let mut arena = Arena::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = Conv2d::new(&mut arena, &mut rng, 1, 1);
+        // Set kernel to the identity (center = 1).
+        let w = arena.params_mut();
+        w[..9].fill(0.0);
+        w[4] = 1.0;
+        let x: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let y = conv.forward(&arena, &x, 1, 4, 4);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn shift_kernel_respects_padding() {
+        let mut arena = Arena::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = Conv2d::new(&mut arena, &mut rng, 1, 1);
+        // Kernel that copies the pixel to the left (kx=0, ky=1).
+        let w = arena.params_mut();
+        w[..9].fill(0.0);
+        w[3] = 1.0;
+        let x = vec![1.0f32, 2.0, 3.0, 4.0]; // 2×2
+        let y = conv.forward(&arena, &x, 1, 2, 2);
+        // Leftmost column sees zero padding.
+        assert_eq!(y, vec![0.0, 1.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn conv_gradients_match_numerical() {
+        let mut arena = Arena::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let conv = Conv2d::new(&mut arena, &mut rng, 2, 2);
+        let x: Vec<f32> = (0..2 * 4 * 4).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.1).collect();
+
+        // Loss = ½ Σ y².
+        let mut loss_fn = |a: &Arena| {
+            let y = conv.forward(a, &x, 1, 4, 4);
+            y.iter().map(|&v| 0.5 * (v as f64) * (v as f64)).sum()
+        };
+        let y = conv.forward(&arena, &x, 1, 4, 4);
+        arena.zero_grads();
+        let dx = conv.backward(&mut arena, &x, &y, 1, 4, 4);
+        let analytic = arena.grads().to_vec();
+        check_param_grads(&mut arena, &mut loss_fn, &analytic, 2e-2);
+
+        // Input gradient too.
+        let eps = 1e-2f32;
+        for i in (0..x.len()).step_by(7) {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let fp: f64 =
+                conv.forward(&arena, &xp, 1, 4, 4).iter().map(|&v| 0.5 * (v as f64) * (v as f64)).sum();
+            let fm: f64 =
+                conv.forward(&arena, &xm, 1, 4, 4).iter().map(|&v| 0.5 * (v as f64) * (v as f64)).sum();
+            let num = ((fp - fm) / (2.0 * eps as f64)) as f32;
+            assert!((num - dx[i]).abs() < 2e-2 * 1.0f32.max(num.abs()), "i={i}: {num} vs {}", dx[i]);
+        }
+    }
+
+    #[test]
+    fn maxpool_forward_backward() {
+        let x = vec![
+            1.0f32, 2.0, 5.0, 6.0, //
+            3.0, 4.0, 8.0, 7.0, //
+            0.1, 0.2, 0.3, 0.4, //
+            0.5, 0.9, 0.8, 0.7,
+        ];
+        let (y, arg) = MaxPool2d::forward(&x, 1, 1, 4, 4);
+        assert_eq!(y, vec![4.0, 8.0, 0.9, 0.8]);
+        let dx = MaxPool2d::backward(&[1.0, 2.0, 3.0, 4.0], &arg, x.len());
+        assert_eq!(dx[5], 1.0); // position of 4.0
+        assert_eq!(dx[6], 2.0); // position of 8.0
+        assert_eq!(dx[13], 3.0); // position of 0.9
+        assert_eq!(dx[14], 4.0); // position of 0.8
+        assert_eq!(dx.iter().sum::<f32>(), 10.0);
+    }
+}

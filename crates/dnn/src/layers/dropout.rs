@@ -1,0 +1,103 @@
+//! Inverted dropout with deterministic, seeded masks.
+//!
+//! Masks are a pure function of `(seed, iteration)`, so data-parallel replicas
+//! regenerate identical masks without storing them — the same trick the datasets
+//! use for reproducibility.
+
+use rand::prelude::*;
+
+/// Inverted dropout: activations are zeroed with probability `p` at train time and
+/// the survivors scaled by `1/(1−p)`, so evaluation needs no rescaling.
+#[derive(Clone, Copy, Debug)]
+pub struct Dropout {
+    /// Drop probability in `[0, 1)`.
+    pub p: f32,
+    seed: u64,
+}
+
+impl Dropout {
+    /// A dropout layer with drop probability `p`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0,1)");
+        Self { p, seed }
+    }
+
+    /// Apply the iteration-`t` mask in place; returns the mask for backward.
+    pub fn forward_train(&self, x: &mut [f32], t: u64) -> Vec<bool> {
+        if self.p == 0.0 {
+            return vec![true; x.len()];
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed ^ t.wrapping_mul(0x9E3779B97F4A7C15));
+        let scale = 1.0 / (1.0 - self.p);
+        let mut mask = Vec::with_capacity(x.len());
+        for v in x.iter_mut() {
+            let keep = !rng.gen_bool(self.p as f64);
+            mask.push(keep);
+            *v = if keep { *v * scale } else { 0.0 };
+        }
+        mask
+    }
+
+    /// Backward: zero the gradient where the forward mask dropped, scale the rest.
+    pub fn backward(&self, dy: &mut [f32], mask: &[bool]) {
+        let scale = 1.0 / (1.0 - self.p);
+        for (d, &keep) in dy.iter_mut().zip(mask) {
+            *d = if keep { *d * scale } else { 0.0 };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_are_deterministic_per_iteration() {
+        let d = Dropout::new(0.5, 7);
+        let mut a = vec![1.0f32; 64];
+        let mut b = vec![1.0f32; 64];
+        let ma = d.forward_train(&mut a, 3);
+        let mb = d.forward_train(&mut b, 3);
+        assert_eq!(ma, mb);
+        assert_eq!(a, b);
+        let mut c = vec![1.0f32; 64];
+        let mc = d.forward_train(&mut c, 4);
+        assert_ne!(ma, mc, "different iterations get different masks");
+    }
+
+    #[test]
+    fn expectation_is_preserved() {
+        let d = Dropout::new(0.25, 1);
+        let mut x = vec![1.0f32; 100_000];
+        d.forward_train(&mut x, 0);
+        let mean: f64 = x.iter().map(|&v| v as f64).sum::<f64>() / x.len() as f64;
+        assert!((mean - 1.0).abs() < 0.02, "inverted scaling should keep E[x]: {mean}");
+    }
+
+    #[test]
+    fn backward_matches_mask() {
+        let d = Dropout::new(0.5, 2);
+        let mut x = vec![1.0f32; 16];
+        let mask = d.forward_train(&mut x, 9);
+        let mut dy = vec![1.0f32; 16];
+        d.backward(&mut dy, &mask);
+        for ((v, g), &keep) in x.iter().zip(&dy).zip(&mask) {
+            if keep {
+                assert_eq!(*v, 2.0);
+                assert_eq!(*g, 2.0);
+            } else {
+                assert_eq!(*v, 0.0);
+                assert_eq!(*g, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_probability_is_identity() {
+        let d = Dropout::new(0.0, 3);
+        let mut x = vec![0.5f32; 8];
+        let mask = d.forward_train(&mut x, 0);
+        assert!(mask.iter().all(|&k| k));
+        assert_eq!(x, vec![0.5f32; 8]);
+    }
+}

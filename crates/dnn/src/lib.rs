@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # dnn — a minimal deep-learning framework for the Ok-Topk reproduction
+//!
+//! The paper trains three models (VGG-16, an LSTM, BERT) with PyTorch on GPUs. This
+//! crate is the CPU substitute: a small but genuine deep-learning stack whose job is
+//! to produce *real gradients* — with the heavy-tailed, slowly drifting value
+//! distributions the paper's threshold-reuse strategy (§3.1.3) depends on — and real
+//! convergence curves for the §5.4 case studies.
+//!
+//! Design choices aimed at distributed training:
+//!
+//! - **Flat parameter arena** ([`Arena`]): all parameters live in one contiguous
+//!   `Vec<f32>` and all gradients in another, so the whole model gradient is a single
+//!   dense slice — exactly what an allreduce (dense or sparse) consumes. Layers hold
+//!   [`Slot`]s (offset + length) into the arena.
+//! - **Explicit backward passes** (no autograd tape): each layer implements
+//!   `forward`/`backward` with caller-held activations; every backward is verified
+//!   against numerical gradients in tests.
+//! - **Seeded determinism**: identical seeds give identical init and identical
+//!   batches, which is how P data-parallel replicas start from the same model.
+//!
+//! Models: [`models::VggLite`] (conv stack, image classification),
+//! [`models::LstmNet`] (LSTM sequence model with a per-token error-rate metric, the
+//! WER stand-in), [`models::BertLite`] (transformer encoder with masked-token
+//! prediction). Synthetic datasets with learnable structure live in [`data`].
+
+pub mod arena;
+pub mod data;
+pub mod layers;
+pub mod model;
+pub mod models;
+pub mod ops;
+pub mod optim;
+
+pub use arena::{Arena, Slot};
+pub use model::{EvalStats, Model, TrainStats};

@@ -1,0 +1,15 @@
+//! The three evaluation models, mirroring the paper's Table 2 domains.
+//!
+//! | Paper model | Dataset | Stand-in | Task |
+//! |---|---|---|---|
+//! | VGG-16 | Cifar-10 | [`VggLite`] | image classification |
+//! | LSTM | AN4 | [`LstmNet`] | next-token prediction (WER proxy) |
+//! | BERT | Wikipedia | [`BertLite`] | masked-token prediction |
+
+mod bert;
+mod lstm_net;
+mod vgg;
+
+pub use bert::BertLite;
+pub use lstm_net::LstmNet;
+pub use vgg::VggLite;

@@ -1,0 +1,291 @@
+//! Optimizers: SGD with momentum and Adam (dense + sparse application).
+//!
+//! Matching the paper's recipes (§5): SGD for VGG and LSTM, Adam for BERT, where
+//! the sparse allreduce runs on raw gradients and Adam is applied afterwards — on
+//! the global top-k support only ([`Adam::step_sparse`], lazy sparse Adam).
+
+/// SGD with (optional) momentum. `velocity` persists across steps.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient μ (0 disables momentum).
+    pub momentum: f32,
+    velocity: Vec<f32>,
+}
+
+impl Sgd {
+    /// New optimizer for `n` parameters.
+    pub fn new(lr: f32, momentum: f32, n: usize) -> Self {
+        Self { lr, momentum, velocity: vec![0.0; n] }
+    }
+
+    /// Dense step: `v ← μv + g; w ← w − lr·v`.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        debug_assert_eq!(params.len(), grads.len());
+        if self.momentum == 0.0 {
+            for (w, &g) in params.iter_mut().zip(grads) {
+                *w -= self.lr * g;
+            }
+            return;
+        }
+        for ((w, v), &g) in params.iter_mut().zip(&mut self.velocity).zip(grads) {
+            *v = self.momentum * *v + g;
+            *w -= self.lr * *v;
+        }
+    }
+
+    /// The momentum buffer (for checkpointing).
+    pub fn velocity(&self) -> &[f32] {
+        &self.velocity
+    }
+
+    /// Restore the momentum buffer from a checkpoint.
+    pub fn set_velocity(&mut self, v: Vec<f32>) {
+        assert_eq!(v.len(), self.velocity.len());
+        self.velocity = v;
+    }
+}
+
+/// Adam with decoupled weight decay (AdamW-style), supporting sparse gradients.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    /// Base learning rate.
+    pub lr: f32,
+    /// First-moment decay β₁.
+    pub beta1: f32,
+    /// Second-moment decay β₂.
+    pub beta2: f32,
+    /// Denominator stabilizer ε.
+    pub eps: f32,
+    /// Decoupled (AdamW-style) weight decay.
+    pub weight_decay: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl Adam {
+    /// The paper's BERT hyperparameters: lr 2e-4, β₁ 0.9, β₂ 0.999, wd 0.01.
+    pub fn bert_default(n: usize) -> Self {
+        Self::new(2e-4, 0.9, 0.999, 1e-8, 0.01, n)
+    }
+
+    /// New optimizer for `n` parameters.
+    pub fn new(lr: f32, beta1: f32, beta2: f32, eps: f32, weight_decay: f32, n: usize) -> Self {
+        Self { lr, beta1, beta2, eps, weight_decay, m: vec![0.0; n], v: vec![0.0; n], t: 0 }
+    }
+
+    /// Override the base learning rate (for schedules; the effective rate also
+    /// includes bias correction).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn bias_corrected_lr(&self) -> f32 {
+        let t = self.t as f32;
+        self.lr * (1.0 - self.beta2.powf(t)).sqrt() / (1.0 - self.beta1.powf(t))
+    }
+
+    /// Dense Adam step.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        debug_assert_eq!(params.len(), grads.len());
+        self.t += 1;
+        let alpha = self.bias_corrected_lr();
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            params[i] -=
+                alpha * self.m[i] / (self.v[i].sqrt() + self.eps) + self.lr * self.weight_decay * params[i];
+        }
+    }
+
+    /// The optimizer state `(m, v, t)` (for checkpointing).
+    pub fn state(&self) -> (&[f32], &[f32], u64) {
+        (&self.m, &self.v, self.t)
+    }
+
+    /// Restore the optimizer state from a checkpoint.
+    pub fn set_state(&mut self, m: Vec<f32>, v: Vec<f32>, t: u64) {
+        assert_eq!(m.len(), self.m.len());
+        assert_eq!(v.len(), self.v.len());
+        self.m = m;
+        self.v = v;
+        self.t = t;
+    }
+
+    /// Lazy sparse Adam: update moments and weights only at the given indexes
+    /// (the global top-k support). Used in the paper's BERT recipe where Adam runs
+    /// on the sparse-allreduced gradient.
+    pub fn step_sparse(&mut self, params: &mut [f32], indexes: &[u32], values: &[f32]) {
+        debug_assert_eq!(indexes.len(), values.len());
+        self.t += 1;
+        let alpha = self.bias_corrected_lr();
+        for (&iu, &g) in indexes.iter().zip(values) {
+            let i = iu as usize;
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            params[i] -=
+                alpha * self.m[i] / (self.v[i].sqrt() + self.eps) + self.lr * self.weight_decay * params[i];
+        }
+    }
+}
+
+/// Learning-rate schedules (the paper uses diminishing rates for SGD — required by
+/// Theorem 4.1 — and linear decay for BERT's Adam).
+#[derive(Clone, Copy, Debug)]
+pub enum LrSchedule {
+    /// Constant rate.
+    Constant,
+    /// `lr / (1 + t/t0)` — the "simply diminishing" schedule of §5.4.1.
+    InverseDecay {
+        /// Decay time constant (iterations until the rate halves).
+        t0: f32,
+    },
+    /// Linear decay to zero over `total` iterations (the BERT recipe).
+    Linear {
+        /// Total training iterations.
+        total: usize,
+    },
+    /// Linear warmup over `warmup` iterations, then inverse decay.
+    WarmupInverse {
+        /// Warmup iterations.
+        warmup: usize,
+        /// Decay time constant after warmup.
+        t0: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The rate multiplier at (1-based) iteration `t`; multiply by the base lr.
+    pub fn factor(&self, t: usize) -> f32 {
+        match self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::InverseDecay { t0 } => 1.0 / (1.0 + t as f32 / t0),
+            LrSchedule::Linear { total } => {
+                (1.0 - (t as f32 - 1.0) / (*total).max(1) as f32).max(0.0)
+            }
+            LrSchedule::WarmupInverse { warmup, t0 } => {
+                if t <= *warmup {
+                    t as f32 / (*warmup).max(1) as f32
+                } else {
+                    1.0 / (1.0 + (t - warmup) as f32 / t0)
+                }
+            }
+        }
+    }
+}
+
+/// Global-norm gradient clipping: if `‖g‖₂ > max_norm`, scale `g` down to the
+/// threshold. Returns the pre-clip norm. Standard practice for RNN/transformer
+/// training; exposed for the LSTM and BERT recipes.
+pub fn clip_grad_norm(grads: &mut [f32], max_norm: f32) -> f64 {
+    let norm = grads.iter().map(|&g| (g as f64) * (g as f64)).sum::<f64>().sqrt();
+    if norm > max_norm as f64 && norm > 0.0 {
+        let scale = (max_norm as f64 / norm) as f32;
+        for g in grads.iter_mut() {
+            *g *= scale;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_have_expected_shapes() {
+        assert_eq!(LrSchedule::Constant.factor(100), 1.0);
+        let inv = LrSchedule::InverseDecay { t0: 10.0 };
+        assert_eq!(inv.factor(10), 0.5);
+        assert!(inv.factor(100) < inv.factor(10));
+        let lin = LrSchedule::Linear { total: 100 };
+        assert_eq!(lin.factor(1), 1.0);
+        assert!((lin.factor(51) - 0.5).abs() < 1e-6);
+        assert_eq!(lin.factor(101), 0.0);
+        assert_eq!(lin.factor(9999), 0.0); // clamped, never negative
+        let wu = LrSchedule::WarmupInverse { warmup: 10, t0: 50.0 };
+        assert!(wu.factor(1) < wu.factor(10));
+        assert_eq!(wu.factor(10), 1.0);
+        assert!(wu.factor(100) < 1.0);
+    }
+
+    #[test]
+    fn clipping_preserves_direction_and_caps_norm() {
+        let mut g = vec![3.0f32, 4.0]; // norm 5
+        let pre = clip_grad_norm(&mut g, 1.0);
+        assert!((pre - 5.0).abs() < 1e-9);
+        let post: f64 = g.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
+        assert!((post - 1.0).abs() < 1e-6);
+        assert!((g[0] / g[1] - 0.75).abs() < 1e-6); // direction preserved
+
+        // Below the threshold: untouched.
+        let mut h = vec![0.1f32, 0.2];
+        clip_grad_norm(&mut h, 10.0);
+        assert_eq!(h, vec![0.1, 0.2]);
+
+        // Zero gradient: no NaNs.
+        let mut z = vec![0.0f32; 4];
+        assert_eq!(clip_grad_norm(&mut z, 1.0), 0.0);
+        assert!(z.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn sgd_without_momentum_is_plain_descent() {
+        let mut opt = Sgd::new(0.1, 0.0, 2);
+        let mut w = vec![1.0f32, -1.0];
+        opt.step(&mut w, &[0.5, -0.5]);
+        assert_eq!(w, vec![0.95, -0.95]);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut opt = Sgd::new(0.1, 0.9, 1);
+        let mut w = vec![0.0f32];
+        opt.step(&mut w, &[1.0]); // v=1, w=-0.1
+        opt.step(&mut w, &[1.0]); // v=1.9, w=-0.29
+        assert!((w[0] + 0.29).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut opt = Adam::new(0.05, 0.9, 0.999, 1e-8, 0.0, 1);
+        let mut w = vec![3.0f32];
+        for _ in 0..500 {
+            let g = w[0]; // d(w²/2)
+            opt.step(&mut w, &[g]);
+        }
+        assert!(w[0].abs() < 0.05, "w={}", w[0]);
+    }
+
+    #[test]
+    fn sparse_adam_touches_only_given_indexes() {
+        let mut opt = Adam::new(0.1, 0.9, 0.999, 1e-8, 0.0, 4);
+        let mut w = vec![1.0f32, 2.0, 3.0, 4.0];
+        opt.step_sparse(&mut w, &[1, 3], &[0.5, -0.5]);
+        assert_eq!(w[0], 1.0);
+        assert_eq!(w[2], 3.0);
+        assert!(w[1] < 2.0);
+        assert!(w[3] > 4.0);
+    }
+
+    #[test]
+    fn sparse_and_dense_agree_on_full_support() {
+        let n = 4;
+        let grads = vec![0.3f32, -0.2, 0.9, 0.0];
+        let idx: Vec<u32> = (0..n as u32).collect();
+        let mut dense = Adam::new(0.01, 0.9, 0.999, 1e-8, 0.01, n);
+        let mut sparse = Adam::new(0.01, 0.9, 0.999, 1e-8, 0.01, n);
+        let mut wd = vec![1.0f32; n];
+        let mut ws = vec![1.0f32; n];
+        for _ in 0..3 {
+            dense.step(&mut wd, &grads);
+            sparse.step_sparse(&mut ws, &idx, &grads);
+        }
+        for (a, b) in wd.iter().zip(&ws) {
+            assert!((a - b).abs() < 1e-7);
+        }
+    }
+}

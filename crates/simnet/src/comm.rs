@@ -1,0 +1,337 @@
+//! Per-rank communicator: typed point-to-point messaging over a modeled network.
+
+use crate::cost::{CostModel, WireSize};
+use crate::envelope::Envelope;
+use crate::ledger::Ledger;
+use crate::trace::{TraceEvent, TraceKind};
+use crossbeam_channel::{Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Message tag, used to match sends with receives (like an MPI tag).
+pub type Tag = u64;
+
+/// How long a `recv` may block on the real channel before the simulation is declared
+/// deadlocked. Virtual time is unrelated; this only catches algorithm bugs in tests.
+const RECV_DEADLOCK: Duration = Duration::from_secs(180);
+
+/// Latency charged for a dissemination barrier: `α·⌈log2 P⌉`.
+fn barrier_latency(cost: &CostModel, size: usize) -> f64 {
+    if size <= 1 {
+        return 0.0;
+    }
+    cost.alpha * (usize::BITS - (size - 1).leading_zeros()) as f64
+}
+
+pub(crate) struct BarrierState {
+    inner: Mutex<BarrierInner>,
+    cv: Condvar,
+}
+
+struct BarrierInner {
+    arrived: usize,
+    generation: u64,
+    max_time: f64,
+    result: f64,
+}
+
+impl BarrierState {
+    pub(crate) fn new() -> Self {
+        Self {
+            inner: Mutex::new(BarrierInner {
+                arrived: 0,
+                generation: 0,
+                max_time: f64::NEG_INFINITY,
+                result: 0.0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until all `size` ranks have arrived; returns the maximum of the submitted
+    /// clock values. Safe for repeated use (generation-counted).
+    fn wait(&self, size: usize, t_in: f64) -> f64 {
+        let mut inner = self.inner.lock();
+        inner.max_time = inner.max_time.max(t_in);
+        inner.arrived += 1;
+        if inner.arrived == size {
+            inner.result = inner.max_time;
+            inner.max_time = f64::NEG_INFINITY;
+            inner.arrived = 0;
+            inner.generation += 1;
+            self.cv.notify_all();
+            inner.result
+        } else {
+            let gen = inner.generation;
+            while inner.generation == gen {
+                self.cv.wait(&mut inner);
+            }
+            inner.result
+        }
+    }
+}
+
+/// A rank's handle on the simulated cluster.
+///
+/// Created by [`crate::Cluster::run`]; one `Comm` lives on each rank thread. All
+/// methods that move data also advance the rank's virtual clock according to the
+/// [`CostModel`] (see the crate-level docs for the port-serialization semantics).
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    cost: CostModel,
+    /// Virtual clock: modeled seconds since the start of the run.
+    now: f64,
+    /// Time at which this rank's NIC injection port becomes free.
+    inj_free: f64,
+    /// Time at which this rank's NIC reception port becomes free.
+    rcv_free: f64,
+    phase: &'static str,
+    /// When set, messaging carries data but costs nothing and is not logged —
+    /// used by instrumentation (e.g. ξ measurement) that must not perturb the
+    /// modeled timings or traffic accounting of the algorithm under study.
+    free_mode: bool,
+    /// Optional per-rank execution trace (see [`crate::trace`]).
+    trace: Option<Vec<TraceEvent>>,
+    ledger: Arc<Ledger>,
+    senders: Vec<Sender<Envelope>>,
+    inbox: Receiver<Envelope>,
+    mailbox: HashMap<(usize, Tag), VecDeque<Envelope>>,
+    barrier: Arc<BarrierState>,
+}
+
+impl Comm {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        cost: CostModel,
+        ledger: Arc<Ledger>,
+        senders: Vec<Sender<Envelope>>,
+        inbox: Receiver<Envelope>,
+        barrier: Arc<BarrierState>,
+    ) -> Self {
+        Self {
+            rank,
+            size,
+            cost,
+            now: 0.0,
+            inj_free: 0.0,
+            rcv_free: 0.0,
+            phase: "default",
+            free_mode: false,
+            trace: None,
+            ledger,
+            senders,
+            inbox,
+            mailbox: HashMap::new(),
+            barrier,
+        }
+    }
+
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the cluster.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The cost model in effect.
+    pub fn cost(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Current virtual time of this rank, in modeled seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Virtual time including pending NIC injection work — the time at which this
+    /// rank's participation in the current operation is truly finished.
+    pub fn local_finish_time(&self) -> f64 {
+        self.now.max(self.inj_free)
+    }
+
+    /// Label subsequent traffic in the ledger (e.g. `"split_reduce"`).
+    pub fn set_phase(&mut self, phase: &'static str) {
+        self.phase = phase;
+    }
+
+    /// Start recording this rank's activity (sends, receives, compute, barriers)
+    /// on its virtual timeline; collect with [`take_trace`](Self::take_trace).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Take the recorded trace (empty if tracing was never enabled) and stop
+    /// recording.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    fn record(&mut self, start: f64, end: f64, kind: TraceKind) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceEvent { start, end, kind });
+        }
+    }
+
+    /// Enter/leave free mode: messages still deliver their data, but cost zero
+    /// modeled time and are not recorded in the ledger. All ranks involved in an
+    /// exchange must agree on the mode.
+    pub fn set_free_mode(&mut self, on: bool) {
+        self.free_mode = on;
+    }
+
+    /// Advance the virtual clock by `seconds` of local computation.
+    pub fn compute(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "negative compute time");
+        let start = self.now;
+        self.now += seconds;
+        let end = self.now;
+        self.record(start, end, TraceKind::Compute);
+    }
+
+    /// Force the clock to at least `t` (used by higher-level overlap models).
+    pub fn advance_to(&mut self, t: f64) {
+        self.now = self.now.max(t);
+    }
+
+    /// Non-blocking typed send to `dst`.
+    ///
+    /// Charges the injection port for `β·L` and stamps the head arrival time
+    /// `α` after injection start; the sender's own clock does not advance
+    /// (DMA-style injection), but [`local_finish_time`](Self::local_finish_time)
+    /// and [`barrier`](Self::barrier) account for the port occupancy.
+    pub fn send<T: WireSize + Send + 'static>(&mut self, dst: usize, tag: Tag, value: T) {
+        assert!(dst < self.size, "send to rank {dst} out of range (size {})", self.size);
+        assert_ne!(dst, self.rank, "self-sends are not modeled; keep local data local");
+        let elems = value.wire_elems();
+        let head_arrival = if self.free_mode {
+            // Instrumentation traffic: deliver immediately, charge and log nothing.
+            f64::NEG_INFINITY
+        } else {
+            let (alpha, beta) = self.cost.link(self.rank, dst);
+            let inj_start = self.now.max(self.inj_free);
+            self.inj_free = inj_start + beta * elems as f64;
+            self.ledger.record(self.rank, self.phase, elems);
+            let inj_end = self.inj_free;
+            self.record(inj_start, inj_end, TraceKind::Send { dst, elems });
+            inj_start + alpha
+        };
+        let env = Envelope {
+            src: self.rank,
+            tag,
+            head_arrival,
+            elems,
+            payload: Box::new(value),
+        };
+        // The channel is unbounded; a send can only fail if the receiver thread
+        // panicked, in which case propagating the panic here is the right outcome.
+        self.senders[dst]
+            .send(env)
+            .unwrap_or_else(|_| panic!("rank {dst} hung up (its thread panicked)"));
+    }
+
+    /// Blocking typed receive of the next message from `src` with `tag`.
+    ///
+    /// Completes, in virtual time, when the message body has streamed through this
+    /// rank's reception port: `max(head_arrival, port_free) + β·L`.
+    pub fn recv<T: Send + 'static>(&mut self, src: usize, tag: Tag) -> T {
+        let env = self.take_matching(src, tag);
+        if !self.free_mode {
+            let (_, beta) = self.cost.link(src, self.rank);
+            let rcv_start = env.head_arrival.max(self.rcv_free);
+            let done = rcv_start + beta * env.elems as f64;
+            self.rcv_free = done;
+            self.now = self.now.max(done);
+            self.record(rcv_start.max(0.0), done, TraceKind::Recv { src, elems: env.elems });
+        }
+        *env.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "rank {}: type mismatch receiving from {} tag {} (expected {})",
+                self.rank,
+                src,
+                tag,
+                std::any::type_name::<T>()
+            )
+        })
+    }
+
+    /// Combined send-then-receive, the idiom of ring and recursive-doubling steps.
+    pub fn sendrecv<S, R>(&mut self, dst: usize, send_tag: Tag, value: S, src: usize, recv_tag: Tag) -> R
+    where
+        S: WireSize + Send + 'static,
+        R: Send + 'static,
+    {
+        self.send(dst, send_tag, value);
+        self.recv(src, recv_tag)
+    }
+
+    fn take_matching(&mut self, src: usize, tag: Tag) -> Envelope {
+        if let Some(queue) = self.mailbox.get_mut(&(src, tag)) {
+            if let Some(env) = queue.pop_front() {
+                return env;
+            }
+        }
+        loop {
+            let env = self.inbox.recv_timeout(RECV_DEADLOCK).unwrap_or_else(|_| {
+                panic!(
+                    "rank {}: recv(src={src}, tag={tag}) timed out — likely deadlock \
+                     or mismatched send/recv pattern",
+                    self.rank
+                )
+            });
+            if env.src == src && env.tag == tag {
+                return env;
+            }
+            self.mailbox.entry((env.src, env.tag)).or_default().push_back(env);
+        }
+    }
+
+    /// Synchronize all ranks; clocks advance to the cluster-wide maximum (including
+    /// pending injection work) plus a dissemination-barrier latency of `α·⌈log2 P⌉`.
+    pub fn barrier(&mut self) {
+        let t_in = self.local_finish_time();
+        let t_max = self.barrier.wait(self.size, t_in);
+        self.now = t_max + barrier_latency(&self.cost, self.size);
+        self.rcv_free = self.rcv_free.max(self.now);
+        self.inj_free = self.inj_free.max(self.now);
+        let end = self.now;
+        self.record(t_in, end, TraceKind::Barrier);
+    }
+
+    /// Synchronize and return the cluster-wide maximum of `value` (no clock cost
+    /// beyond a barrier; used by harnesses to agree on a measurement).
+    pub fn max_across(&mut self, value: f64) -> f64 {
+        // Piggy-back on the barrier machinery by running two rounds: one for the
+        // clock, one for the value. Round two reuses the same generation mechanics.
+        self.barrier();
+        self.barrier_value(value)
+    }
+
+    fn barrier_value(&self, value: f64) -> f64 {
+        self.barrier.wait(self.size, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_latency_is_log2() {
+        let c = CostModel { alpha: 1.0, beta: 0.0, hierarchy: None };
+        assert_eq!(barrier_latency(&c, 1), 0.0);
+        assert_eq!(barrier_latency(&c, 2), 1.0);
+        assert_eq!(barrier_latency(&c, 3), 2.0);
+        assert_eq!(barrier_latency(&c, 4), 2.0);
+        assert_eq!(barrier_latency(&c, 5), 3.0);
+        assert_eq!(barrier_latency(&c, 8), 3.0);
+        assert_eq!(barrier_latency(&c, 9), 4.0);
+    }
+}

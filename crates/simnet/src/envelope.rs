@@ -1,0 +1,19 @@
+//! Internal message envelope passed between rank threads.
+
+use std::any::Any;
+
+/// A message in flight between two ranks.
+///
+/// The payload is type-erased; [`crate::Comm::recv`] downcasts it back. Timing fields
+/// are computed by the *sender* from its own virtual clock; the receiver combines them
+/// with its reception-port state to produce the modeled completion time.
+pub(crate) struct Envelope {
+    pub src: usize,
+    pub tag: u64,
+    /// Modeled time at which the head of the message reaches the receiver
+    /// (injection start + α).
+    pub head_arrival: f64,
+    /// Body size in 4-byte wire elements.
+    pub elems: u64,
+    pub payload: Box<dyn Any + Send>,
+}

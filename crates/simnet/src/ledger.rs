@@ -1,0 +1,142 @@
+//! Traffic accounting: who sent how many elements, per algorithm phase.
+//!
+//! The ledger is how Table 1 is *measured* rather than asserted: every point-to-point
+//! message logs its element count under the sender's current phase label, and the
+//! harness compares aggregate volumes against the paper's analytic formulas.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Aggregated volume for one (rank, phase) cell.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseVolume {
+    /// Number of point-to-point messages sent.
+    pub messages: u64,
+    /// Total 4-byte elements sent (message bodies; headers are latency-only).
+    pub elements: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// (rank, phase) → volume.
+    cells: HashMap<(usize, &'static str), PhaseVolume>,
+}
+
+/// Shared, thread-safe traffic ledger for one simulation run.
+#[derive(Default)]
+pub struct Ledger {
+    inner: Mutex<Inner>,
+}
+
+impl Ledger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record(&self, rank: usize, phase: &'static str, elems: u64) {
+        let mut inner = self.inner.lock();
+        let cell = inner.cells.entry((rank, phase)).or_default();
+        cell.messages += 1;
+        cell.elements += elems;
+    }
+
+    /// Immutable snapshot of all counters.
+    pub fn snapshot(&self) -> LedgerSnapshot {
+        LedgerSnapshot { cells: self.inner.lock().cells.clone() }
+    }
+
+    /// Reset all counters (e.g. between warm-up and measured iterations).
+    pub fn reset(&self) {
+        self.inner.lock().cells.clear();
+    }
+}
+
+/// A point-in-time copy of the ledger, queryable without locking.
+#[derive(Clone, Debug, Default)]
+pub struct LedgerSnapshot {
+    cells: HashMap<(usize, &'static str), PhaseVolume>,
+}
+
+impl LedgerSnapshot {
+    /// Total elements sent by `rank` across all phases.
+    pub fn rank_elements(&self, rank: usize) -> u64 {
+        self.cells
+            .iter()
+            .filter(|((r, _), _)| *r == rank)
+            .map(|(_, v)| v.elements)
+            .sum()
+    }
+
+    /// Total elements sent by all ranks in `phase`.
+    pub fn phase_elements(&self, phase: &str) -> u64 {
+        self.cells
+            .iter()
+            .filter(|((_, p), _)| *p == phase)
+            .map(|(_, v)| v.elements)
+            .sum()
+    }
+
+    /// Elements sent by `rank` within `phase`.
+    pub fn cell(&self, rank: usize, phase: &str) -> PhaseVolume {
+        self.cells
+            .iter()
+            .find(|((r, p), _)| *r == rank && *p == phase)
+            .map(|(_, v)| *v)
+            .unwrap_or_default()
+    }
+
+    /// Total elements sent by all ranks across all phases.
+    pub fn total_elements(&self) -> u64 {
+        self.cells.values().map(|v| v.elements).sum()
+    }
+
+    /// Total messages sent by all ranks across all phases.
+    pub fn total_messages(&self) -> u64 {
+        self.cells.values().map(|v| v.messages).sum()
+    }
+
+    /// Maximum per-rank sent-element count — a load-imbalance indicator.
+    pub fn max_rank_elements(&self, size: usize) -> u64 {
+        (0..size).map(|r| self.rank_elements(r)).max().unwrap_or(0)
+    }
+
+    /// All phase labels seen, sorted.
+    pub fn phases(&self) -> Vec<&'static str> {
+        let mut v: Vec<&'static str> = self.cells.keys().map(|(_, p)| *p).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_aggregates() {
+        let ledger = Ledger::new();
+        ledger.record(0, "reduce", 100);
+        ledger.record(0, "reduce", 50);
+        ledger.record(1, "reduce", 30);
+        ledger.record(0, "gather", 7);
+
+        let snap = ledger.snapshot();
+        assert_eq!(snap.cell(0, "reduce"), PhaseVolume { messages: 2, elements: 150 });
+        assert_eq!(snap.rank_elements(0), 157);
+        assert_eq!(snap.phase_elements("reduce"), 180);
+        assert_eq!(snap.total_elements(), 187);
+        assert_eq!(snap.total_messages(), 4);
+        assert_eq!(snap.max_rank_elements(2), 157);
+        assert_eq!(snap.phases(), vec!["gather", "reduce"]);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let ledger = Ledger::new();
+        ledger.record(0, "x", 1);
+        ledger.reset();
+        assert_eq!(ledger.snapshot().total_elements(), 0);
+    }
+}

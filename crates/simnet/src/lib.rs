@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! # simnet — a simulated message-passing substrate
+//!
+//! This crate stands in for MPI in the Ok-Topk reproduction. Each *rank* is an OS
+//! thread; point-to-point messages carry **real data** (gradient chunks, index lists)
+//! between threads over channels, so every algorithm built on top of simnet is a genuine
+//! parallel implementation whose output can be checked against a serial reference.
+//!
+//! Time, however, is *modeled*, not measured: simnet maintains a virtual clock per rank
+//! and charges communication using the classic latency–bandwidth (α–β) cost model the
+//! paper itself uses for its analysis (Table 1), extended with per-rank NIC port
+//! serialization so that endpoint congestion — the effect the paper's destination
+//! rotation (Fig. 2) exists to avoid — is observable in modeled time.
+//!
+//! ## Cost model
+//!
+//! Sending a message of `L` elements (one element = one 4-byte word, i.e. one `f32`
+//! value or one `u32` index, matching the paper's COO accounting):
+//!
+//! - occupies the sender's *injection port* for `β·L` seconds,
+//! - the head of the message arrives at the receiver `α` seconds after injection starts,
+//! - streaming the body occupies the receiver's *reception port* for `β·L` seconds;
+//!   messages draining into the same receiver serialize on that port.
+//!
+//! A rank's clock advances on [`Comm::compute`] (local work) and on [`Comm::recv`]
+//! (waiting for data). The model is deterministic regardless of thread interleaving:
+//! clock arithmetic depends only on per-rank program order and the matched message
+//! order, never on wall-clock races.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use simnet::{Cluster, CostModel};
+//!
+//! let report = Cluster::new(4, CostModel::aries()).run(|comm| {
+//!     // Ring shift: everyone sends its rank to the right neighbour.
+//!     let right = (comm.rank() + 1) % comm.size();
+//!     let left = (comm.rank() + comm.size() - 1) % comm.size();
+//!     comm.send(right, 7, vec![comm.rank() as f32]);
+//!     let got: Vec<f32> = comm.recv(left, 7);
+//!     got[0] as usize
+//! });
+//! assert_eq!(report.results, vec![3, 0, 1, 2]);
+//! ```
+
+mod cluster;
+mod comm;
+mod cost;
+mod envelope;
+mod ledger;
+pub mod net;
+pub mod trace;
+
+pub use cluster::{Cluster, SimReport};
+pub use comm::{Comm, Tag};
+pub use cost::{CostModel, WireSize};
+pub use cost::Hierarchy;
+pub use net::{GroupComm, Net};
+pub use ledger::{Ledger, LedgerSnapshot, PhaseVolume};
+pub use trace::{render_timeline, TraceEvent, TraceKind};

@@ -1,0 +1,89 @@
+//! Property tests for the simulated network substrate.
+
+use proptest::prelude::*;
+use simnet::{Cluster, CostModel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// An all-to-all exchange delivers every payload intact, for any cluster size and
+    /// any payload sizes.
+    #[test]
+    fn all_to_all_delivers_everything(
+        p in 2usize..7,
+        sizes in proptest::collection::vec(0usize..50, 2..7),
+    ) {
+        let report = Cluster::new(p, CostModel::aries()).run(|comm| {
+            let me = comm.rank();
+            let len = sizes[me % sizes.len()];
+            for dst in 0..comm.size() {
+                if dst != me {
+                    let payload: Vec<f32> = (0..len).map(|i| (me * 1000 + i) as f32).collect();
+                    comm.send(dst, 42, payload);
+                }
+            }
+            let mut ok = true;
+            for src in 0..comm.size() {
+                if src != me {
+                    let got: Vec<f32> = comm.recv(src, 42);
+                    let want_len = sizes[src % sizes.len()];
+                    ok &= got.len() == want_len;
+                    ok &= got.iter().enumerate().all(|(i, &v)| v == (src * 1000 + i) as f32);
+                }
+            }
+            ok
+        });
+        prop_assert!(report.results.iter().all(|&ok| ok));
+        // Ledger counted exactly the elements that crossed the wire.
+        let expected: u64 = (0..p).map(|r| (sizes[r % sizes.len()] * (p - 1)) as u64).sum();
+        prop_assert_eq!(report.ledger.total_elements(), expected);
+    }
+
+    /// Virtual clocks never go backwards and the makespan bounds every rank.
+    #[test]
+    fn clocks_are_monotone(p in 2usize..6, steps in 1usize..6) {
+        let report = Cluster::new(p, CostModel::aries()).run(|comm| {
+            let mut last = comm.now();
+            let mut monotone = true;
+            for s in 0..steps {
+                let partner = (comm.rank() + 1 + s) % comm.size();
+                if partner != comm.rank() {
+                    let from = (comm.rank() + comm.size() - 1 - s % comm.size()) % comm.size();
+                    // Everyone sends to its rotated partner, receives from its inverse.
+                    comm.send(partner, s as u64, vec![1u32; s + 1]);
+                    let _: Vec<u32> = comm.recv(from, s as u64);
+                }
+                comm.barrier();
+                monotone &= comm.now() >= last;
+                last = comm.now();
+            }
+            monotone
+        });
+        prop_assert!(report.results.iter().all(|&ok| ok));
+        let makespan = report.makespan();
+        prop_assert!(report.times.iter().all(|&t| t <= makespan + 1e-12));
+    }
+
+    /// Two identical runs produce bit-identical clocks and ledgers (determinism).
+    #[test]
+    fn runs_are_deterministic(p in 2usize..6, len in 1usize..64) {
+        let cluster = Cluster::new(p, CostModel::commodity());
+        let go = || cluster.run(|comm| {
+            let right = (comm.rank() + 1) % comm.size();
+            let left = (comm.rank() + comm.size() - 1) % comm.size();
+            let mut acc = vec![0.0f32; len];
+            for _ in 0..3 {
+                let got: Vec<f32> =
+                    comm.sendrecv(right, 0, acc.clone(), left, 0);
+                for (a, g) in acc.iter_mut().zip(&got) {
+                    *a += g + 1.0;
+                }
+            }
+            (acc, comm.now())
+        });
+        let a = go();
+        let b = go();
+        prop_assert_eq!(&a.results, &b.results);
+        prop_assert_eq!(&a.times, &b.times);
+    }
+}

@@ -1,0 +1,458 @@
+//! One interface over the seven gradient-exchange schemes of the evaluation.
+
+use crate::cost::CostProfile;
+use collectives::{
+    allreduce_inplace, dsa_allreduce, gtopk_allreduce, quantized_allgather_allreduce,
+    topk_allgather_allreduce,
+};
+use oktopk::oktopk::intersect_sorted;
+use oktopk::{OkTopkConfig, OkTopkSgd};
+use simnet::Net;
+use sparse::quant::QuantMode;
+use sparse::select::{exact_threshold, select_ge, topk_exact};
+use sparse::threshold::GaussianEstimator;
+use sparse::CooGradient;
+
+/// The allreduce schemes compared in §5 (Table 1 + DenseOvlp).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Single dense allreduce on the whole gradient.
+    Dense,
+    /// Dense allreduce overlapped with backward compute (bucketed).
+    DenseOvlp,
+    /// Allgather-based sparse allreduce with exact top-k selection.
+    TopkA,
+    /// SparCML's dynamic sparse allreduce (reduce-scatter with fill-in).
+    TopkDsa,
+    /// Tree allreduce with hierarchical top-k re-selection.
+    GTopk,
+    /// Allgather-based allreduce with Gaussian-PPF threshold selection.
+    GaussianK,
+    /// The paper's O(k) sparse allreduce.
+    OkTopk,
+}
+
+impl Scheme {
+    /// All seven schemes, in the paper's presentation order.
+    pub fn all() -> [Scheme; 7] {
+        [
+            Scheme::Dense,
+            Scheme::DenseOvlp,
+            Scheme::TopkA,
+            Scheme::TopkDsa,
+            Scheme::GTopk,
+            Scheme::GaussianK,
+            Scheme::OkTopk,
+        ]
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Dense => "Dense",
+            Scheme::DenseOvlp => "DenseOvlp",
+            Scheme::TopkA => "TopkA",
+            Scheme::TopkDsa => "TopkDSA",
+            Scheme::GTopk => "gTopk",
+            Scheme::GaussianK => "Gaussiank",
+            Scheme::OkTopk => "Ok-Topk",
+        }
+    }
+
+    /// Whether the scheme sparsifies gradients.
+    pub fn is_sparse(&self) -> bool {
+        !matches!(self, Scheme::Dense | Scheme::DenseOvlp)
+    }
+}
+
+/// What a reduce produced, ready to apply to the model.
+pub enum Update {
+    /// Averaged dense gradient (Dense/DenseOvlp): the optimizer applies it.
+    Dense(Vec<f32>),
+    /// Averaged sparse result: in SGD mode this is the model delta (lr folded into
+    /// the accumulator); in Adam mode (scale = 1) the averaged sparse gradient.
+    Sparse(CooGradient),
+}
+
+/// Instrumentation of one reduce call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReduceMetrics {
+    /// Modeled sparsification seconds charged inside this call.
+    pub sparsify_time: f64,
+    /// Local top-k selection size (sparse schemes).
+    pub local_nnz: Option<usize>,
+    /// Global/result support size.
+    pub global_nnz: Option<usize>,
+    /// TopkDSA output density (§5.2 fill-in metric).
+    pub dsa_density: Option<f64>,
+    /// Gaussiank's *raw* predicted selection count (before the 3k/4 scaling).
+    pub gaussian_pred: Option<usize>,
+    /// Whether Ok-Topk's data-balancing trigger fired.
+    pub balanced: Option<bool>,
+}
+
+/// Per-rank, scheme-specific persistent state (residuals, thresholds, …).
+pub struct Reducer {
+    scheme: Scheme,
+    n: usize,
+    k: usize,
+    cost: CostProfile,
+    /// Residual ε for the sparse baselines (Ok-Topk keeps its own inside
+    /// [`OkTopkSgd`]).
+    residual: Vec<f32>,
+    oktopk: Option<OkTopkSgd>,
+    /// Optional SparCML-style value quantization on the wire (TopkA transport
+    /// only); the quantization error flows into the residual like any noise.
+    quantization: Option<QuantMode>,
+    t: usize,
+}
+
+impl Reducer {
+    /// Fresh per-rank reducer state for one scheme.
+    pub fn new(
+        scheme: Scheme,
+        n: usize,
+        density: f64,
+        cost: CostProfile,
+        tau: usize,
+        tau_prime: usize,
+    ) -> Self {
+        let k = ((n as f64 * density).round() as usize).clamp(1, n);
+        let oktopk = if scheme == Scheme::OkTopk {
+            Some(OkTopkSgd::new(
+                OkTopkConfig::new(n, k)
+                    .with_periods(tau, tau_prime)
+                    .with_merge_cost(cost.merge_per_elem),
+            ))
+        } else {
+            None
+        };
+        let residual = if scheme.is_sparse() && scheme != Scheme::OkTopk {
+            vec![0.0; n]
+        } else {
+            Vec::new()
+        };
+        Self { scheme, n, k, cost, residual, oktopk, quantization: None, t: 0 }
+    }
+
+    /// Enable SparCML-style wire quantization (effective for the allgather-based
+    /// schemes, i.e. `TopkA` and `GaussianK`).
+    pub fn with_quantization(mut self, mode: QuantMode) -> Self {
+        self.quantization = Some(mode);
+        self
+    }
+
+    /// The scheme this reducer runs.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The resolved top-k target (density × n, clamped to [1, n]).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Exchange this iteration's gradient. `scale` folds the learning rate into
+    /// the sparse accumulators (SGD mode); pass 1.0 in Adam mode. Dense schemes
+    /// ignore `scale` and return the plain averaged gradient.
+    ///
+    /// Sparsification cost is charged to the rank's clock inside this call and
+    /// reported in the metrics so the caller can split the clock delta into
+    /// sparsification vs communication.
+    pub fn reduce<C: Net>(&mut self, comm: &mut C, grad: &[f32], scale: f32) -> (Update, ReduceMetrics) {
+        debug_assert_eq!(grad.len(), self.n);
+        self.t += 1;
+        let p = comm.size() as f32;
+        let mut metrics = ReduceMetrics::default();
+
+        match self.scheme {
+            Scheme::Dense | Scheme::DenseOvlp => {
+                comm.set_phase("dense");
+                let mut sum = grad.to_vec();
+                allreduce_inplace(comm, &mut sum);
+                for v in &mut sum {
+                    *v /= p;
+                }
+                (Update::Dense(sum), metrics)
+            }
+            Scheme::TopkA | Scheme::TopkDsa | Scheme::GTopk => {
+                let acc = self.accumulate(grad, scale);
+                // Exact top-k selection (torch.topk-style cost).
+                let sp = self.cost.topk_exact(self.n);
+                comm.compute(sp);
+                metrics.sparsify_time = sp;
+                let local = topk_exact(&acc, self.k);
+                metrics.local_nnz = Some(local.nnz());
+
+                let (result, contributed) = match self.scheme {
+                    Scheme::TopkA => {
+                        let sum = match self.quantization {
+                            Some(mode) => quantized_allgather_allreduce(comm, local.clone(), mode),
+                            None => topk_allgather_allreduce(comm, local.clone()),
+                        };
+                        (sum, local.indexes().to_vec())
+                    }
+                    Scheme::TopkDsa => {
+                        let out = dsa_allreduce(comm, local.clone(), self.n);
+                        metrics.dsa_density = Some(out.stats.output_density);
+                        (out.sum, local.indexes().to_vec())
+                    }
+                    Scheme::GTopk => {
+                        let result = gtopk_allreduce(comm, local.clone(), self.k);
+                        // The paper attributes gTopk's per-level hierarchical
+                        // selections to communication time; each level re-selects
+                        // the top-k of a 2k-entry merge.
+                        let levels = (usize::BITS - (comm.size().max(2) - 1).leading_zeros()) as f64;
+                        comm.compute(self.cost.topk_exact(2 * self.k) * levels);
+                        let contributed =
+                            intersect_sorted(local.indexes(), result.indexes());
+                        (result, contributed)
+                    }
+                    _ => unreachable!(),
+                };
+                metrics.global_nnz = Some(result.nnz());
+                self.update_residual(&acc, &contributed);
+                let mut avg = result;
+                avg.scale(1.0 / p);
+                (Update::Sparse(avg), metrics)
+            }
+            Scheme::GaussianK => {
+                let acc = self.accumulate(grad, scale);
+                // Gaussian-PPF threshold + the §5.4 scale-until-3k/4 adjustment;
+                // every probe is one O(n) scan.
+                let mut th = GaussianEstimator::raw_threshold(&acc, self.k);
+                let raw_count = acc.iter().filter(|v| v.abs() >= th).count();
+                metrics.gaussian_pred = Some(raw_count);
+                let target = (3 * self.k) / 4;
+                let mut count = raw_count;
+                let mut probes = 2; // moment pass + first selection pass
+                while count < target && probes < 100 {
+                    th *= 0.9;
+                    count = acc.iter().filter(|v| v.abs() >= th).count();
+                    probes += 1;
+                }
+                let sp = self.cost.scan(self.n, probes);
+                comm.compute(sp);
+                metrics.sparsify_time = sp;
+                let local = select_ge(&acc, th);
+                metrics.local_nnz = Some(local.nnz());
+
+                let sum = topk_allgather_allreduce(comm, local.clone());
+                metrics.global_nnz = Some(sum.nnz());
+                let contributed = local.indexes().to_vec();
+                self.update_residual(&acc, &contributed);
+                let mut avg = sum;
+                avg.scale(1.0 / p);
+                (Update::Sparse(avg), metrics)
+            }
+            Scheme::OkTopk => {
+                let sgd = self.oktopk.as_mut().expect("OkTopk state present");
+                // Threshold re-evaluation iterations pay the exact selection; all
+                // others pay one threshold scan (§3.1.3).
+                let t_next = sgd.iteration() + 1;
+                let reeval = sgd.allreduce_state().is_reeval_iteration(t_next);
+                let sp = if reeval {
+                    // Local exact threshold over n + global exact threshold over the
+                    // gathered ≈2k reduced values.
+                    self.cost.topk_exact(self.n) + self.cost.topk_launch
+                } else {
+                    self.cost.scan(self.n, 1)
+                };
+                comm.compute(sp);
+                metrics.sparsify_time = sp;
+
+                let step = sgd.step(comm, grad, scale);
+                metrics.local_nnz = Some(step.meta.local_nnz);
+                metrics.global_nnz = Some(step.meta.global_nnz);
+                metrics.balanced = Some(step.meta.balanced);
+                (Update::Sparse(step.update), metrics)
+            }
+        }
+    }
+
+    /// Peek the accumulator Ok-Topk SGD would use this step (ξ instrumentation).
+    pub fn peek_oktopk_accumulator(&self, grad: &[f32], scale: f32) -> Option<Vec<f32>> {
+        self.oktopk.as_ref().map(|s| s.peek_accumulator(grad, scale))
+    }
+
+    fn accumulate(&mut self, grad: &[f32], scale: f32) -> Vec<f32> {
+        self.residual
+            .iter()
+            .zip(grad)
+            .map(|(&e, &g)| e + scale * g)
+            .collect()
+    }
+
+    fn update_residual(&mut self, acc: &[f32], contributed: &[u32]) {
+        self.residual.copy_from_slice(acc);
+        for &i in contributed {
+            self.residual[i as usize] = 0.0;
+        }
+    }
+
+    /// The exact top-k count a fresh selection on `values` would produce — used by
+    /// instrumentation harnesses as the "accurate" reference of Fig. 6.
+    pub fn accurate_count(values: &[f32], k: usize) -> usize {
+        let th = exact_threshold(values, k);
+        values.iter().filter(|&&v| v.abs() >= th && v != 0.0).count()
+    }
+
+    /// The residual ε of the sparse-baseline schemes (empty for dense and Ok-Topk,
+    /// which keeps its own). Exposed for tests and checkpointing.
+    pub fn residual(&self) -> &[f32] {
+        &self.residual
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{Cluster, CostModel};
+
+    fn grads(p: usize, n: usize, seed: u64) -> Vec<Vec<f32>> {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..p).map(|_| (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+    }
+
+    #[test]
+    fn dense_returns_exact_average() {
+        let (p, n) = (4, 64);
+        let gs = grads(p, n, 1);
+        let report = Cluster::new(p, CostModel::free()).run(|comm| {
+            let mut r = Reducer::new(Scheme::Dense, n, 1.0, CostProfile::paper_calibrated(), 4, 4);
+            match r.reduce(comm, &gs[comm.rank()], 0.1).0 {
+                Update::Dense(avg) => avg,
+                _ => panic!("dense scheme returns a dense update"),
+            }
+        });
+        for i in 0..n {
+            let want: f32 = (0..p).map(|r| gs[r][i]).sum::<f32>() / p as f32;
+            assert!((report.results[0][i] - want).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn baseline_residuals_partition_the_accumulator() {
+        // For TopkA: residual + selected = acc exactly, every iteration.
+        let (p, n) = (3, 80);
+        let gs = grads(p, n, 2);
+        let report = Cluster::new(p, CostModel::free()).run(|comm| {
+            let mut r = Reducer::new(Scheme::TopkA, n, 0.1, CostProfile::paper_calibrated(), 4, 4);
+            let me = comm.rank();
+            let mut ok = true;
+            let mut prev_residual = vec![0.0f32; n];
+            for _ in 0..4 {
+                let acc: Vec<f32> =
+                    prev_residual.iter().zip(&gs[me]).map(|(&e, &g)| e + 0.1 * g).collect();
+                let (_, m) = r.reduce(comm, &gs[me], 0.1);
+                // Selected entries are zeroed; everything else survives verbatim.
+                let k = m.local_nnz.expect("sparse scheme");
+                let zeroed = r.residual().iter().filter(|&&v| v == 0.0).count();
+                ok &= zeroed >= k;
+                for i in 0..n {
+                    ok &= r.residual()[i] == 0.0 || r.residual()[i] == acc[i];
+                }
+                prev_residual = r.residual().to_vec();
+            }
+            ok
+        });
+        assert!(report.results.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn gtopk_clears_only_globally_selected_residuals() {
+        // gTopk discards information in the tree; entries sent but dropped must
+        // REMAIN in the residual (intersection semantics).
+        let (p, n) = (4, 60);
+        let gs = grads(p, n, 3);
+        let report = Cluster::new(p, CostModel::free()).run(|comm| {
+            let mut r = Reducer::new(Scheme::GTopk, n, 0.2, CostProfile::paper_calibrated(), 4, 4);
+            let me = comm.rank();
+            let (update, m) = r.reduce(comm, &gs[me], 1.0);
+            let global = match update {
+                Update::Sparse(u) => u,
+                _ => panic!("sparse"),
+            };
+            // Residual zeros ⊆ global support.
+            let support: std::collections::HashSet<u32> =
+                global.indexes().iter().copied().collect();
+            let mut ok = true;
+            for (i, &v) in r.residual().iter().enumerate() {
+                if v == 0.0 && gs[me][i] != 0.0 {
+                    ok &= support.contains(&(i as u32));
+                }
+            }
+            ok && m.global_nnz.expect("recorded") <= r.k()
+        });
+        assert!(report.results.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn gaussian_records_raw_prediction_and_meets_quota() {
+        let (p, n) = (2, 500);
+        let gs = grads(p, n, 4);
+        let report = Cluster::new(p, CostModel::free()).run(|comm| {
+            let mut r =
+                Reducer::new(Scheme::GaussianK, n, 0.05, CostProfile::paper_calibrated(), 4, 4);
+            let (_, m) = r.reduce(comm, &gs[comm.rank()], 0.1);
+            (m.gaussian_pred, m.local_nnz, r.k())
+        });
+        for (pred, local, k) in &report.results {
+            assert!(pred.is_some());
+            // The §5.4 scaling guarantees at least 3k/4 selected.
+            assert!(local.expect("recorded") >= 3 * k / 4);
+        }
+    }
+
+    #[test]
+    fn quantized_topka_still_averages_correctly() {
+        let (p, n) = (4, 128);
+        let gs = grads(p, n, 5);
+        let run = |quant: Option<sparse::quant::QuantMode>| {
+            let gs = gs.clone();
+            Cluster::new(p, CostModel::free()).run(move |comm| {
+                let mut r =
+                    Reducer::new(Scheme::TopkA, n, 0.2, CostProfile::paper_calibrated(), 4, 4);
+                if let Some(m) = quant {
+                    r = r.with_quantization(m);
+                }
+                match r.reduce(comm, &gs[comm.rank()], 1.0).0 {
+                    Update::Sparse(u) => u.to_dense(n),
+                    _ => panic!("sparse"),
+                }
+            })
+        };
+        let plain = run(None);
+        let q16 = run(Some(sparse::quant::QuantMode::Q16));
+        for (a, b) in plain.results[0].iter().zip(&q16.results[0]) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sparsify_time_ordering_matches_paper() {
+        // Exact-selection schemes pay more than Gaussiank, which pays more than a
+        // steady-state Ok-Topk scan.
+        let (p, n) = (2, 4096);
+        let gs = grads(p, n, 6);
+        let time_of = |scheme: Scheme, iters: usize| -> f64 {
+            let gs = gs.clone();
+            let report = Cluster::new(p, CostModel::free()).run(move |comm| {
+                let mut r = Reducer::new(scheme, n, 0.02, CostProfile::paper_calibrated(), 64, 64);
+                let mut last = 0.0;
+                for _ in 0..iters {
+                    let (_, m) = r.reduce(comm, &gs[comm.rank()], 0.1);
+                    last = m.sparsify_time;
+                }
+                last
+            });
+            report.results[0]
+        };
+        let topka = time_of(Scheme::TopkA, 1);
+        let gauss = time_of(Scheme::GaussianK, 1);
+        let okt_steady = time_of(Scheme::OkTopk, 2); // iteration 2: reused threshold
+        assert!(topka > gauss, "topka {topka} vs gauss {gauss}");
+        assert!(gauss > okt_steady, "gauss {gauss} vs okt {okt_steady}");
+    }
+}

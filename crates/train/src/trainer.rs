@@ -1,0 +1,465 @@
+//! The data-parallel training loop with full instrumentation.
+
+use crate::cost::CostProfile;
+use crate::reducer::{Reducer, Scheme, Update};
+use collectives::{allreduce_inplace, allreduce_sum_f64};
+use dnn::optim::{Adam, Sgd};
+use dnn::Model;
+use simnet::{Cluster, Comm};
+use sparse::select::topk_exact;
+use sparse::stats::l2_norm;
+
+/// Which optimizer applies the reduced update (mirrors §5's recipes).
+#[derive(Clone, Copy, Debug)]
+pub enum OptimizerKind {
+    /// Plain SGD; sparse schemes fold the learning rate into their accumulators
+    /// and the returned sparse delta is subtracted directly.
+    Sgd {
+        /// Base learning rate.
+        lr: f32,
+    },
+    /// Adam on the (sparse or dense) averaged gradient, as in the BERT recipe.
+    Adam {
+        /// Base learning rate.
+        lr: f32,
+        /// Decoupled weight decay.
+        weight_decay: f32,
+    },
+}
+
+/// One experiment's knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainConfig {
+    /// Gradient-exchange scheme under test.
+    pub scheme: Scheme,
+    /// Density k/n.
+    pub density: f64,
+    /// Training iterations.
+    pub iters: usize,
+    /// Per-rank batch size (global batch = P × this).
+    pub local_batch: usize,
+    /// Modeled cost calibration.
+    pub cost: CostProfile,
+    /// τ (space repartition) and τ′ (threshold re-evaluation) for Ok-Topk.
+    pub tau: usize,
+    /// τ′ for Ok-Topk (see [`tau`](Self::tau) doc).
+    pub tau_prime: usize,
+    /// Which optimizer applies the reduced update.
+    pub optimizer: OptimizerKind,
+    /// `lr_t = lr / (1 + t/decay)`; 0 disables decay.
+    pub lr_decay_iters: usize,
+    /// Evaluate on held-out data every this many iterations (0 = never).
+    pub eval_every: usize,
+    /// Measure ξ (Assumption 1) every this many iterations (0 = never; Ok-Topk only).
+    pub measure_xi_every: usize,
+}
+
+impl TrainConfig {
+    /// Paper-flavored defaults (τ = 64, τ′ = 32, SGD lr 0.1, 100 iterations).
+    pub fn new(scheme: Scheme, density: f64) -> Self {
+        Self {
+            scheme,
+            density,
+            iters: 100,
+            local_batch: 8,
+            cost: CostProfile::paper_calibrated(),
+            tau: 64,
+            tau_prime: 32,
+            optimizer: OptimizerKind::Sgd { lr: 0.1 },
+            lr_decay_iters: 0,
+            eval_every: 0,
+            measure_xi_every: 0,
+        }
+    }
+}
+
+/// Per-iteration instrumentation (identical on every rank; collected from rank 0).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IterRecord {
+    /// 1-based iteration number.
+    pub t: usize,
+    /// Modeled seconds: forward+backward compute (incl. I/O).
+    pub compute: f64,
+    /// Modeled seconds: top-k selection / thresholding.
+    pub sparsify: f64,
+    /// Modeled seconds: visible communication (after any overlap).
+    pub comm: f64,
+    /// Global mean training loss of this iteration.
+    pub train_loss: f64,
+    /// Local top-k selection size (sparse schemes).
+    pub local_nnz: Option<usize>,
+    /// Global/result support size (sparse schemes).
+    pub global_nnz: Option<usize>,
+    /// Gaussiank's raw predicted selection count.
+    pub gaussian_pred: Option<usize>,
+    /// TopkDSA output density (fill-in).
+    pub dsa_density: Option<f64>,
+    /// Whether Ok-Topk's data balancing fired.
+    pub balanced: Option<bool>,
+    /// Assumption-1 ξ, when measured.
+    pub xi: Option<f64>,
+}
+
+/// A held-out evaluation snapshot.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalPoint {
+    /// Iteration at which the snapshot was taken.
+    pub t: usize,
+    /// Modeled wall-clock at which this evaluation state was reached.
+    pub time: f64,
+    /// Mean held-out loss.
+    pub loss: f64,
+    /// Held-out argmax accuracy.
+    pub accuracy: f64,
+}
+
+/// Everything one training run produces.
+pub struct RunResult {
+    /// The scheme that ran.
+    pub scheme: Scheme,
+    /// Per-iteration instrumentation.
+    pub records: Vec<IterRecord>,
+    /// Held-out evaluation snapshots.
+    pub evals: Vec<EvalPoint>,
+    /// Modeled makespan of the whole run (slowest rank).
+    pub makespan: f64,
+}
+
+impl RunResult {
+    /// Mean (compute, sparsify, comm) per iteration, skipping `warmup` iterations.
+    pub fn mean_breakdown(&self, warmup: usize) -> (f64, f64, f64) {
+        let tail = &self.records[warmup.min(self.records.len())..];
+        if tail.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let n = tail.len() as f64;
+        (
+            tail.iter().map(|r| r.compute).sum::<f64>() / n,
+            tail.iter().map(|r| r.sparsify).sum::<f64>() / n,
+            tail.iter().map(|r| r.comm).sum::<f64>() / n,
+        )
+    }
+
+    /// Mean modeled time per iteration (sum of the breakdown).
+    pub fn time_per_iter(&self, warmup: usize) -> f64 {
+        let (c, s, m) = self.mean_breakdown(warmup);
+        c + s + m
+    }
+}
+
+/// Run `cfg.iters` iterations of data-parallel training of the model produced by
+/// `make_model` on `p` ranks, exchanging gradients with `cfg.scheme`.
+///
+/// - `make_model()` must be deterministic (all replicas start identical).
+/// - `make_batch(iter, rank, world)` supplies disjoint shards.
+/// - `eval_batches` are evaluated by rank 0 every `cfg.eval_every` iterations.
+pub fn run_data_parallel<M, FM, FB>(
+    p: usize,
+    cfg: &TrainConfig,
+    make_model: FM,
+    make_batch: FB,
+    eval_batches: &[M::Batch],
+) -> RunResult
+where
+    M: Model,
+    M::Batch: Sync,
+    FM: Fn() -> M + Send + Sync,
+    FB: Fn(u64, usize, usize) -> M::Batch + Send + Sync,
+{
+    // Rescale fixed costs (latency, kernel launches) to this model's size so the
+    // experiment sits in the paper's bandwidth-dominated regime (see cost.rs).
+    let n = make_model().num_params();
+    let mut cfg = *cfg;
+    cfg.cost = cfg.cost.scaled_for_model(n);
+    let cfg = &cfg;
+    let cluster = Cluster::new(p, cfg.cost.network());
+    let report = cluster.run(|comm| {
+        train_rank(comm, cfg, &make_model, &make_batch, eval_batches)
+    });
+    let makespan = report.makespan();
+    let (records, evals) = report.results.into_iter().next().expect("rank 0 result");
+    RunResult { scheme: cfg.scheme, records, evals, makespan }
+}
+
+fn train_rank<M, FM, FB>(
+    comm: &mut Comm,
+    cfg: &TrainConfig,
+    make_model: &FM,
+    make_batch: &FB,
+    eval_batches: &[M::Batch],
+) -> (Vec<IterRecord>, Vec<EvalPoint>)
+where
+    M: Model,
+    FM: Fn() -> M,
+    FB: Fn(u64, usize, usize) -> M::Batch,
+{
+    let rank = comm.rank();
+    let world = comm.size();
+    let mut model = make_model();
+    let n = model.num_params();
+    let mut reducer = Reducer::new(cfg.scheme, n, cfg.density, cfg.cost, cfg.tau, cfg.tau_prime);
+    let k = reducer.k();
+
+    let (mut sgd, mut adam, base_scale): (Option<Sgd>, Option<Adam>, f32) = match cfg.optimizer {
+        OptimizerKind::Sgd { lr } => (Some(Sgd::new(lr, 0.0, n)), None, lr),
+        OptimizerKind::Adam { lr, weight_decay } => {
+            (None, Some(Adam::new(lr, 0.9, 0.999, 1e-8, weight_decay, n)), 1.0)
+        }
+    };
+
+    let fwd_time = cfg.cost.fwd_bwd(n);
+    let overlap = if cfg.scheme == Scheme::DenseOvlp { cfg.cost.overlap_window } else { 0.0 };
+
+    let mut records = Vec::with_capacity(cfg.iters);
+    let mut evals = Vec::new();
+
+    for t in 1..=cfg.iters {
+        // Learning-rate schedule (applied to the SGD scale; Adam keeps its own lr).
+        let lr_t = if cfg.lr_decay_iters > 0 {
+            base_scale / (1.0 + t as f32 / cfg.lr_decay_iters as f32)
+        } else {
+            base_scale
+        };
+        let scale = match cfg.optimizer {
+            OptimizerKind::Sgd { .. } => lr_t,
+            OptimizerKind::Adam { .. } => 1.0,
+        };
+        if let (OptimizerKind::Sgd { .. }, Some(s)) = (cfg.optimizer, sgd.as_mut()) {
+            s.lr = lr_t;
+        }
+
+        // Real gradient computation on this rank's shard.
+        let batch = make_batch((t - 1) as u64, rank, world);
+        model.zero_grads();
+        let stats = model.forward_backward(&batch);
+
+        // Modeled compute: the non-overlappable share now, the rest (DenseOvlp's
+        // overlap window) runs concurrently with communication below.
+        comm.compute(fwd_time * (1.0 - overlap));
+        let t_comm_start = comm.now();
+
+        // ξ instrumentation part A: gather the dense accumulator/gradient averages
+        // out-of-band (free mode: zero modeled cost, no ledger pollution).
+        let xi_prep = if cfg.measure_xi_every > 0
+            && cfg.scheme == Scheme::OkTopk
+            && t % cfg.measure_xi_every == 0
+        {
+            let acc = reducer
+                .peek_oktopk_accumulator(model.grads(), scale)
+                .expect("OkTopk scheme has an accumulator");
+            comm.set_free_mode(true);
+            let mut acc_sum = acc;
+            allreduce_inplace(comm, &mut acc_sum);
+            let mut grad_sum = model.grads().to_vec();
+            allreduce_inplace(comm, &mut grad_sum);
+            comm.set_free_mode(false);
+            Some((acc_sum, grad_sum))
+        } else {
+            None
+        };
+
+        let (update, metrics) = reducer.reduce(comm, model.grads(), scale);
+        let t_comm_end = comm.now();
+        // The overlapped backward tail finishes no earlier than its own duration.
+        comm.advance_to(t_comm_start + fwd_time * overlap);
+
+        let comm_visible =
+            ((t_comm_end - t_comm_start) - metrics.sparsify_time - fwd_time * overlap).max(0.0);
+
+        // ξ part B: compare the paper's Eq. 5 terms.
+        let xi = xi_prep.map(|(acc_sum, grad_sum)| {
+            let pf = world as f32;
+            let true_avg: Vec<f32> = acc_sum.iter().map(|v| v / pf).collect();
+            let topk_true = topk_exact(&true_avg, k);
+            let applied = match &update {
+                Update::Sparse(u) => u.clone(),
+                Update::Dense(_) => unreachable!("xi is only measured for Ok-Topk"),
+            };
+            let mut neg = applied;
+            neg.scale(-1.0);
+            let diff = topk_true.merge_sum(&neg);
+            let denom = (scale as f64) * l2_norm(&grad_sum) / world as f64;
+            if denom > 0.0 {
+                diff.l2_norm() / denom
+            } else {
+                0.0
+            }
+        });
+
+        // Apply the update identically on every rank.
+        match (&update, sgd.as_mut(), adam.as_mut()) {
+            (Update::Dense(avg), Some(s), _) => s.step(model.params_mut(), avg),
+            (Update::Dense(avg), _, Some(a)) => a.step(model.params_mut(), avg),
+            (Update::Sparse(u), Some(_), _) => {
+                // SGD mode: the sparse delta already carries the learning rate.
+                let params = model.params_mut();
+                for (i, v) in u.iter() {
+                    params[i as usize] -= v;
+                }
+            }
+            (Update::Sparse(u), _, Some(a)) => {
+                a.set_lr(match cfg.optimizer {
+                    OptimizerKind::Adam { lr, .. } => {
+                        if cfg.lr_decay_iters > 0 {
+                            lr / (1.0 + t as f32 / cfg.lr_decay_iters as f32)
+                        } else {
+                            lr
+                        }
+                    }
+                    _ => unreachable!(),
+                });
+                a.step_sparse(model.params_mut(), u.indexes(), u.values());
+            }
+            _ => unreachable!("exactly one optimizer is configured"),
+        }
+
+        // Global mean training loss (free mode; 2 words).
+        comm.set_free_mode(true);
+        let sums = allreduce_sum_f64(comm, vec![stats.loss, stats.count as f64]);
+        comm.set_free_mode(false);
+        let train_loss = if sums[1] > 0.0 { sums[0] / sums[1] } else { 0.0 };
+
+        records.push(IterRecord {
+            t,
+            compute: fwd_time,
+            sparsify: metrics.sparsify_time,
+            comm: comm_visible,
+            train_loss,
+            local_nnz: metrics.local_nnz,
+            global_nnz: metrics.global_nnz,
+            gaussian_pred: metrics.gaussian_pred,
+            dsa_density: metrics.dsa_density,
+            balanced: metrics.balanced,
+            xi,
+        });
+
+        // Held-out evaluation: offline (does not advance the modeled clock), on
+        // rank 0 only (all replicas are identical).
+        if cfg.eval_every > 0 && (t % cfg.eval_every == 0 || t == cfg.iters) && rank == 0 {
+            let mut agg = dnn::EvalStats::default();
+            for b in eval_batches {
+                agg.merge(&model.evaluate(b));
+            }
+            evals.push(EvalPoint {
+                t,
+                time: comm.now(),
+                loss: agg.mean_loss(),
+                accuracy: agg.accuracy(),
+            });
+        }
+    }
+
+    (records, evals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn::data::SyntheticImages;
+    use dnn::models::VggLite;
+
+    fn small_cfg(scheme: Scheme) -> TrainConfig {
+        let mut cfg = TrainConfig::new(scheme, 0.05);
+        cfg.iters = 6;
+        cfg.local_batch = 2;
+        cfg.tau = 2;
+        cfg.tau_prime = 2;
+        cfg.optimizer = OptimizerKind::Sgd { lr: 0.05 };
+        cfg.eval_every = 3;
+        cfg
+    }
+
+    fn run_scheme(scheme: Scheme, p: usize) -> RunResult {
+        let cfg = small_cfg(scheme);
+        let data = SyntheticImages::with_shape(1, 4, 3, 8, 0.5);
+        let eval: Vec<_> = (0..2).map(|b| data.test_batch(b, 8)).collect();
+        let local_batch = cfg.local_batch;
+        run_data_parallel(
+            p,
+            &cfg,
+            || VggLite::with_width(7, 4, 8, 16, 4, 8),
+            move |iter, rank, world| data.train_batch(iter, rank, world, local_batch),
+            &eval,
+        )
+    }
+
+    #[test]
+    fn every_scheme_trains_and_records() {
+        for scheme in Scheme::all() {
+            let res = run_scheme(scheme, 4);
+            assert_eq!(res.records.len(), 6, "{}", scheme.name());
+            assert!(res.makespan > 0.0);
+            assert_eq!(res.evals.len(), 2);
+            for r in &res.records {
+                assert!(r.compute > 0.0);
+                assert!(r.comm >= 0.0 && r.sparsify >= 0.0);
+                assert!(r.train_loss.is_finite());
+                if scheme.is_sparse() {
+                    assert!(r.local_nnz.is_some(), "{}", scheme.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn losses_decrease_for_dense_and_oktopk() {
+        for scheme in [Scheme::Dense, Scheme::OkTopk] {
+            let cfg = {
+                let mut c = small_cfg(scheme);
+                c.iters = 25;
+                c.density = 0.1;
+                c
+            };
+            let data = SyntheticImages::with_shape(1, 4, 3, 8, 0.5);
+            let eval: Vec<_> = (0..2).map(|b| data.test_batch(b, 8)).collect();
+            let res = run_data_parallel(
+                2,
+                &cfg,
+                || VggLite::with_width(7, 4, 8, 16, 4, 8),
+                move |iter, rank, world| data.train_batch(iter, rank, world, 2),
+                &eval,
+            );
+            let first = res.records[0].train_loss;
+            let last = res.records.last().expect("records").train_loss;
+            assert!(last < first, "{}: {first} -> {last}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn dense_ovlp_hides_communication() {
+        let dense = run_scheme(Scheme::Dense, 4);
+        let ovlp = run_scheme(Scheme::DenseOvlp, 4);
+        let (_, _, comm_d) = dense.mean_breakdown(1);
+        let (_, _, comm_o) = ovlp.mean_breakdown(1);
+        assert!(comm_o < comm_d, "overlap did not reduce visible comm: {comm_o} vs {comm_d}");
+    }
+
+    #[test]
+    fn xi_is_measured_for_oktopk() {
+        let mut cfg = small_cfg(Scheme::OkTopk);
+        cfg.measure_xi_every = 2;
+        cfg.iters = 6;
+        let data = SyntheticImages::with_shape(1, 4, 3, 8, 0.5);
+        let res = run_data_parallel(
+            4,
+            &cfg,
+            || VggLite::with_width(7, 4, 8, 16, 4, 8),
+            move |iter, rank, world| data.train_batch(iter, rank, world, 2),
+            &[],
+        );
+        let measured: Vec<f64> = res.records.iter().filter_map(|r| r.xi).collect();
+        assert_eq!(measured.len(), 3);
+        assert!(measured.iter().all(|x| x.is_finite() && *x >= 0.0));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_scheme(Scheme::OkTopk, 3);
+        let b = run_scheme(Scheme::OkTopk, 3);
+        assert_eq!(a.makespan, b.makespan);
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.train_loss, y.train_loss);
+            assert_eq!(x.comm, y.comm);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the Ok-Topk reproduction workspace.
+//!
+//! This crate re-exports the public surface of every member crate so examples and
+//! integration tests can use a single import root. The actual implementation lives in:
+//!
+//! - [`simnet`] — simulated message-passing substrate with an α–β–NIC cost model,
+//! - [`sparse`] — sparse gradient representation and top-k selection/estimation,
+//! - [`collectives`] — dense allreduce and the four baseline sparse allreduces,
+//! - [`oktopk`] — the paper's O(k) sparse allreduce and Ok-Topk SGD,
+//! - [`dnn`] — a minimal deep-learning framework (models, optimizers, synthetic data),
+//! - [`train`] — the distributed data-parallel training and instrumentation harness.
+
+pub use collectives;
+pub use dnn;
+pub use oktopk;
+pub use simnet;
+pub use sparse;
+pub use train;

@@ -1,0 +1,108 @@
+//! Integration tests of the convergence claims (§4, §5) at test scale.
+
+use dnn::data::{SyntheticMaskedLm, SyntheticSequences};
+use dnn::models::{BertLite, LstmNet};
+use train::{run_data_parallel, OptimizerKind, Scheme, TrainConfig};
+
+/// LSTM WER proxy improves markedly under Ok-Topk (the Fig. 11 claim).
+#[test]
+fn lstm_wer_improves_under_oktopk() {
+    let data = SyntheticSequences::with_shape(2, 12, 10, 0.9);
+    let eval: Vec<_> = (0..2).map(|b| data.test_batch(b, 16)).collect();
+    let mut cfg = TrainConfig::new(Scheme::OkTopk, 0.1);
+    cfg.iters = 80;
+    cfg.local_batch = 4;
+    cfg.optimizer = OptimizerKind::Sgd { lr: 0.4 };
+    cfg.lr_decay_iters = 40;
+    cfg.tau = 8;
+    cfg.tau_prime = 8;
+    cfg.eval_every = 40;
+    let d = data.clone();
+    let res = run_data_parallel(
+        4,
+        &cfg,
+        || LstmNet::with_width(3, 12, 16, 32),
+        move |it, r, w| d.train_batch(it, r, w, 4),
+        &eval,
+    );
+    let first_wer = 1.0 - res.evals.first().expect("eval").accuracy;
+    let last_wer = 1.0 - res.evals.last().expect("eval").accuracy;
+    assert!(
+        last_wer < first_wer && last_wer < 0.75,
+        "WER did not improve: {first_wer} -> {last_wer}"
+    );
+}
+
+/// BERT masked-LM loss under the Adam-after-sparse-allreduce recipe decreases
+/// and tracks dense training reasonably (the Fig. 13 claim).
+#[test]
+fn bert_adam_recipe_converges() {
+    let data = SyntheticMaskedLm::with_shape(4, 16, 12, 0.2);
+    let eval: Vec<_> = (0..2).map(|b| data.test_batch(b, 16)).collect();
+    let run = |scheme: Scheme| {
+        let mut cfg = TrainConfig::new(scheme, 0.05);
+        cfg.iters = 100;
+        cfg.local_batch = 4;
+        cfg.optimizer = OptimizerKind::Adam { lr: 5e-3, weight_decay: 0.0 };
+        cfg.tau = 8;
+        cfg.tau_prime = 8;
+        cfg.eval_every = 50;
+        let d = data.clone();
+        run_data_parallel(
+            4,
+            &cfg,
+            || BertLite::with_width(6, 16, 32, 2, 1, 64, 12),
+            move |it, r, w| d.train_batch(it, r, w, 4),
+            &eval,
+        )
+    };
+    let dense = run(Scheme::DenseOvlp);
+    let okt = run(Scheme::OkTopk);
+    let dense_final = dense.evals.last().expect("eval").loss;
+    let okt_first = okt.evals.first().expect("eval").loss;
+    let okt_final = okt.evals.last().expect("eval").loss;
+    assert!(okt_final < okt_first, "Ok-Topk loss did not decrease");
+    // Chance level is ln(15) ≈ 2.71; both must clearly beat it, and Ok-Topk must
+    // stay within a reasonable band of the lossless baseline.
+    assert!(dense_final < 2.4, "dense failed to learn: {dense_final}");
+    assert!(
+        okt_final < dense_final + 0.5,
+        "Ok-Topk {okt_final} too far above dense {dense_final}"
+    );
+    // Ok-Topk must reach its final state in less modeled time.
+    let dense_time = dense.evals.last().expect("eval").time;
+    let okt_time = okt.evals.last().expect("eval").time;
+    assert!(
+        okt_time < dense_time,
+        "Ok-Topk modeled time {okt_time} not below dense {dense_time}"
+    );
+}
+
+/// ξ stays bounded (Assumption 1) over a real training run.
+#[test]
+fn xi_stays_bounded_during_training() {
+    let data = SyntheticSequences::with_shape(2, 12, 10, 0.9);
+    let mut cfg = TrainConfig::new(Scheme::OkTopk, 0.1);
+    cfg.iters = 40;
+    cfg.local_batch = 4;
+    cfg.optimizer = OptimizerKind::Sgd { lr: 0.2 };
+    cfg.tau = 8;
+    cfg.tau_prime = 8;
+    cfg.measure_xi_every = 5;
+    let p = 4;
+    let d = data.clone();
+    let res = run_data_parallel(
+        p,
+        &cfg,
+        || LstmNet::with_width(3, 12, 16, 32),
+        move |it, r, w| d.train_batch(it, r, w, 4),
+        &[],
+    );
+    let xis: Vec<f64> = res.records.iter().filter_map(|r| r.xi).collect();
+    assert_eq!(xis.len(), 8);
+    for xi in &xis {
+        assert!(xi.is_finite() && *xi >= 0.0);
+        // The paper's criterion: ξ not too much larger than P.
+        assert!(*xi < 4.0 * p as f64, "xi = {xi} blew past P = {p}");
+    }
+}
