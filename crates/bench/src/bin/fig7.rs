@@ -13,6 +13,7 @@ use oktopk::{OkTopk, OkTopkConfig};
 use rand::prelude::*;
 use simnet::Cluster;
 use sparse::select::topk_exact;
+use sparse::SelectScratch;
 use sparse::CooGradient;
 use train::CostProfile;
 
@@ -145,7 +146,7 @@ fn main() {
                         .with_rotation(rotation)
                         .with_merge_cost(cost.merge_per_elem);
                     let t0 = comm.now();
-                    split_and_reduce(comm, &cfg, &locals[comm.rank()], &bounds);
+                    split_and_reduce(comm, &cfg, &locals[comm.rank()], &bounds, &mut SelectScratch::new());
                     comm.now() - t0
                 })
                 .results

@@ -1,0 +1,281 @@
+//! Hot-path wall-clock benchmark: selection throughput, per-iteration SGD step
+//! time, and end-to-end trainer wall-clock, before/after the scratch-buffer and
+//! chunked-kernel overhaul.
+//!
+//! Emits `BENCH_PR1.json` (in the working directory — repo root under
+//! `cargo run`) with per-bench baseline/optimized nanoseconds and speedups.
+//!
+//! - *baseline* for the selection benches is the allocating `sparse::select`
+//!   path (fresh `Vec`s every call), exactly what the hot loop did before the
+//!   scratch subsystem.
+//! - *parallel* benches compare `threads = 1` against `OKTOPK_THREADS` (default:
+//!   all cores) through the same `*_with_threads` kernels. On a single-core
+//!   host these report ≈1× — the JSON records `host_threads` so readers can
+//!   tell an absent speedup from an impossible one.
+//!
+//! Usage: `cargo run --release -p okbench --bin hotpath [-- --quick] [--out PATH]`
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use dnn::ops::matmul_acc_with_threads;
+use oktopk::{OkTopkConfig, OkTopkSgd};
+use simnet::{Cluster, CostModel};
+use sparse::scratch::{
+    exact_threshold_scratch, exact_threshold_with_threads, select_ge_scratch,
+    select_ge_with_threads, SelectScratch,
+};
+use sparse::select::{exact_threshold, select_ge};
+
+struct BenchResult {
+    name: &'static str,
+    baseline_ns: Option<f64>,
+    optimized_ns: Option<f64>,
+    note: String,
+}
+
+impl BenchResult {
+    fn speedup(&self) -> Option<f64> {
+        match (self.baseline_ns, self.optimized_ns) {
+            (Some(b), Some(o)) if o > 0.0 => Some(b / o),
+            _ => None,
+        }
+    }
+}
+
+/// Median ns/rep over `trials` timed runs of `reps` calls each (one warm-up run).
+fn time_ns(reps: usize, trials: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up: fill scratch pools, fault in pages
+    let mut samples: Vec<f64> = (0..trials)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / reps as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn pseudo_dense(n: usize, seed: u64) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+            let v = ((h >> 33) % 2000) as f32 / 1000.0 - 1.0;
+            // ~60% exact zeros: the duplicate-heavy regime of a residual buffer.
+            if v.abs() < 0.6 { 0.0 } else { v }
+        })
+        .collect()
+}
+
+/// Selection: allocating `select` path vs pooled scratch path (auto-dispatch).
+fn bench_selection_scratch(n: usize, k: usize, reps: usize, trials: usize) -> BenchResult {
+    let dense = pseudo_dense(n, 1);
+    let baseline = time_ns(reps, trials, || {
+        let th = exact_threshold(black_box(&dense), k);
+        black_box(select_ge(&dense, th));
+    });
+    let mut scratch = SelectScratch::new();
+    let optimized = time_ns(reps, trials, || {
+        let th = exact_threshold_scratch(black_box(&dense), k, &mut scratch);
+        let g = select_ge_scratch(&dense, th, &mut scratch);
+        black_box(g.nnz());
+        scratch.recycle(g);
+    });
+    BenchResult {
+        name: "selection_alloc_vs_scratch",
+        baseline_ns: Some(baseline),
+        optimized_ns: Some(optimized),
+        note: format!("n={n} k={k}; exact_threshold + select_ge per rep"),
+    }
+}
+
+/// Selection: serial vs parallel through the same scratch kernels.
+fn bench_selection_parallel(
+    n: usize,
+    k: usize,
+    reps: usize,
+    trials: usize,
+    par: usize,
+) -> BenchResult {
+    let dense = pseudo_dense(n, 2);
+    let mut scratch = SelectScratch::new();
+    let serial = time_ns(reps, trials, || {
+        let th = exact_threshold_with_threads(black_box(&dense), k, &mut scratch, 1);
+        let g = select_ge_with_threads(&dense, th, &mut scratch, 1);
+        black_box(g.nnz());
+        scratch.recycle(g);
+    });
+    let parallel = time_ns(reps, trials, || {
+        let th = exact_threshold_with_threads(black_box(&dense), k, &mut scratch, par);
+        let g = select_ge_with_threads(&dense, th, &mut scratch, par);
+        black_box(g.nnz());
+        scratch.recycle(g);
+    });
+    BenchResult {
+        name: "selection_serial_vs_parallel",
+        baseline_ns: Some(serial),
+        optimized_ns: Some(parallel),
+        note: format!("n={n} k={k}; threads 1 vs {par}"),
+    }
+}
+
+/// Dense forward kernel: serial vs parallel `matmul_acc`.
+fn bench_matmul_parallel(dim: usize, reps: usize, trials: usize, par: usize) -> BenchResult {
+    let x = pseudo_dense(dim * dim, 3);
+    let w = pseudo_dense(dim * dim, 4);
+    let mut out = vec![0.0f32; dim * dim];
+    let serial = time_ns(reps, trials, || {
+        out.iter_mut().for_each(|o| *o = 0.0);
+        matmul_acc_with_threads(black_box(&x), &w, &mut out, dim, dim, dim, 1);
+        black_box(out[0]);
+    });
+    let parallel = time_ns(reps, trials, || {
+        out.iter_mut().for_each(|o| *o = 0.0);
+        matmul_acc_with_threads(black_box(&x), &w, &mut out, dim, dim, dim, par);
+        black_box(out[0]);
+    });
+    BenchResult {
+        name: "matmul_serial_vs_parallel",
+        baseline_ns: Some(serial),
+        optimized_ns: Some(parallel),
+        note: format!("{dim}x{dim}x{dim} matmul_acc; threads 1 vs {par}"),
+    }
+}
+
+/// Per-iteration Ok-Topk SGD step time on a simulated cluster (current code;
+/// the zero-allocation refactor is in-library, so no allocating twin exists to
+/// run as a baseline — track this number across PRs instead).
+fn bench_sgd_step(p: usize, n: usize, k: usize, iters: usize) -> BenchResult {
+    let start = Instant::now();
+    Cluster::new(p, CostModel::free()).run(|comm| {
+        let mut sgd = OkTopkSgd::new(OkTopkConfig::new(n, k).with_periods(8, 8));
+        let mut grad = vec![0.0f32; n];
+        for it in 0..iters {
+            for (i, g) in grad.iter_mut().enumerate() {
+                *g = (((it * 31 + i * 7 + comm.rank()) % 997) as f32 / 997.0) - 0.5;
+            }
+            black_box(sgd.step(comm, &grad, 0.01).update.nnz());
+        }
+    });
+    let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    BenchResult {
+        name: "sgd_step",
+        baseline_ns: None,
+        optimized_ns: Some(per_iter),
+        note: format!("p={p} n={n} k={k}; wall-clock per collective step, {iters} iters"),
+    }
+}
+
+/// End-to-end trainer wall-clock: distributed quadratic fit (the convergence
+/// test's workload) for a fixed iteration budget.
+fn bench_e2e_trainer(p: usize, n: usize, k: usize, iters: usize) -> BenchResult {
+    let centers: Vec<Vec<f32>> = (0..p).map(|r| pseudo_dense(n, 100 + r as u64)).collect();
+    let start = Instant::now();
+    let report = Cluster::new(p, CostModel::aries()).run(|comm| {
+        let mut sgd = OkTopkSgd::new(OkTopkConfig::new(n, k).with_periods(8, 8));
+        let mut w = vec![0.0f32; n];
+        for it in 0..iters {
+            let grad: Vec<f32> =
+                w.iter().zip(&centers[comm.rank()]).map(|(wi, ci)| wi - ci).collect();
+            let lr = 0.1 / (1.0 + it as f32 / 100.0);
+            let step = sgd.step(comm, &grad, lr);
+            for (i, v) in step.update.iter() {
+                w[i as usize] -= v;
+            }
+        }
+        w.iter().map(|v| *v as f64).sum::<f64>()
+    });
+    black_box(&report.results);
+    let total = start.elapsed().as_nanos() as f64;
+    BenchResult {
+        name: "e2e_trainer",
+        baseline_ns: None,
+        optimized_ns: Some(total),
+        note: format!("p={p} n={n} k={k} iters={iters}; total wall-clock ns"),
+    }
+}
+
+fn json_f64(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:.1}"),
+        _ => "null".to_string(),
+    }
+}
+
+fn write_json(path: &str, quick: bool, par: usize, results: &[BenchResult]) {
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads_env = std::env::var("OKTOPK_THREADS").ok();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"hotpath\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"host_threads\": {host_threads},\n"));
+    out.push_str(&format!(
+        "  \"oktopk_threads_env\": {},\n",
+        threads_env.map_or("null".to_string(), |v| format!("\"{v}\""))
+    ));
+    out.push_str(&format!("  \"parallel_threads\": {par},\n"));
+    out.push_str("  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"baseline_ns\": {},\n", json_f64(r.baseline_ns)));
+        out.push_str(&format!("      \"optimized_ns\": {},\n", json_f64(r.optimized_ns)));
+        let speedup = match r.speedup() {
+            Some(s) if s.is_finite() => format!("{s:.3}"),
+            _ => "null".to_string(),
+        };
+        out.push_str(&format!("      \"speedup\": {speedup},\n"));
+        out.push_str(&format!("      \"note\": \"{}\"\n", r.note));
+        out.push_str(if i + 1 < results.len() { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write bench json");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_PR1.json")
+        .to_string();
+
+    let par = okpar::configured_threads().max(2);
+    let (n, k, reps, trials) =
+        if quick { (1 << 15, 1 << 9, 5, 3) } else { (1 << 18, 1 << 12, 10, 5) };
+    let mm_dim = if quick { 48 } else { 128 };
+    let (sgd_n, sgd_iters) = if quick { (1 << 12, 30) } else { (1 << 14, 100) };
+    let e2e_iters = if quick { 60 } else { 300 };
+
+    eprintln!("hotpath: n={n} k={k} parallel_threads={par} quick={quick}");
+    let results = vec![
+        bench_selection_scratch(n, k, reps, trials),
+        bench_selection_parallel(n, k, reps, trials, par),
+        bench_matmul_parallel(mm_dim, reps, trials, par),
+        bench_sgd_step(4, sgd_n, sgd_n / 64, sgd_iters),
+        bench_e2e_trainer(4, 4096, 256, e2e_iters),
+    ];
+
+    for r in &results {
+        let speedup = r
+            .speedup()
+            .map(|s| format!("{s:.2}x"))
+            .unwrap_or_else(|| "—".to_string());
+        eprintln!(
+            "  {:<28} baseline {:>12} ns  optimized {:>12} ns  speedup {}",
+            r.name,
+            json_f64(r.baseline_ns),
+            json_f64(r.optimized_ns),
+            speedup
+        );
+    }
+    write_json(&out_path, quick, par, &results);
+    eprintln!("wrote {out_path}");
+}

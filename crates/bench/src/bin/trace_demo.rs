@@ -7,6 +7,7 @@ use oktopk::OkTopkConfig;
 use rand::prelude::*;
 use simnet::{render_timeline, Cluster};
 use sparse::partition::equal_boundaries;
+use sparse::SelectScratch;
 use sparse::select::topk_exact;
 use sparse::CooGradient;
 use train::CostProfile;
@@ -34,7 +35,7 @@ fn main() {
             let cfg = OkTopkConfig::new(n, k)
                 .with_rotation(rotation)
                 .with_merge_cost(cost.merge_per_elem);
-            split_and_reduce(comm, &cfg, &locals[comm.rank()], &bounds);
+            split_and_reduce(comm, &cfg, &locals[comm.rank()], &bounds, &mut SelectScratch::new());
             comm.take_trace()
         });
         println!(

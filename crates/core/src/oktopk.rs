@@ -6,12 +6,14 @@ use crate::split_reduce::split_and_reduce;
 use collectives::{allgather_items, allreduce_sum_f64};
 use simnet::Net;
 use sparse::partition::{balanced_boundaries, consensus_boundaries, equal_boundaries};
-use sparse::select::{exact_threshold, select_ge};
+use sparse::scratch::{exact_threshold_scratch, filter_abs_ge_scratch, select_ge_scratch};
 use sparse::threshold::{PeriodicExactEstimator, ThresholdEstimator};
-use sparse::CooGradient;
+use sparse::{CooGradient, SelectScratch};
 
 /// Persistent state of the O(k) sparse allreduce across training iterations:
-/// the reused local/global thresholds and the agreed region boundaries.
+/// the reused local/global thresholds, the agreed region boundaries, and the
+/// pooled scratch buffers that keep the steady-state selection path off the
+/// heap.
 ///
 /// One instance lives on each rank; all instances must be driven with the same
 /// iteration numbers (they exchange data collectively every call).
@@ -20,6 +22,7 @@ pub struct OkTopk {
     local_est: PeriodicExactEstimator,
     global_th: f32,
     boundaries: Vec<u32>,
+    scratch: SelectScratch,
 }
 
 /// Everything one `allreduce` call produces, including the instrumentation the
@@ -48,7 +51,9 @@ impl OkTopk {
     /// Fresh allreduce state for the given configuration.
     pub fn new(cfg: OkTopkConfig) -> Self {
         let local_est = PeriodicExactEstimator::new(cfg.threshold_reeval_period);
-        Self { cfg, local_est, global_th: 0.0, boundaries: Vec::new() }
+        // Steady-state selections land near k entries; start the pool there.
+        let scratch = SelectScratch::with_nnz_hint(cfg.k);
+        Self { cfg, local_est, global_th: 0.0, boundaries: Vec::new(), scratch }
     }
 
     /// The configuration in effect.
@@ -93,9 +98,12 @@ impl OkTopk {
         let p = comm.size();
         let n = self.cfg.n as u32;
 
-        // Lines 2–4: local threshold, re-evaluated every τ′ iterations.
-        let local_th = self.local_est.threshold(t, acc, self.cfg.k);
-        let local = select_ge(acc, local_th);
+        // Lines 2–4: local threshold, re-evaluated every τ′ iterations. Both the
+        // exact threshold pass and the O(n) scan run on pooled scratch buffers
+        // (and data-parallel under OKTOPK_THREADS); at steady state neither
+        // touches the heap.
+        let local_th = self.local_est.threshold_scratch(t, acc, self.cfg.k, &mut self.scratch);
+        let local = select_ge_scratch(acc, local_th, &mut self.scratch);
 
         // Lines 5–7: region boundaries, re-evaluated every τ iterations. Consensus
         // is a P+1-element f64 allreduce — latency-only, amortized over τ.
@@ -111,24 +119,28 @@ impl OkTopk {
         }
 
         // Line 8: split and reduce.
-        let sr = split_and_reduce(comm, &self.cfg, &local, &self.boundaries);
+        let sr = split_and_reduce(comm, &self.cfg, &local, &self.boundaries, &mut self.scratch);
 
         // Lines 9–12: global threshold re-evaluation, every τ′ iterations. This is
-        // the expensive allgatherv the reuse strategy amortizes.
+        // the expensive allgatherv the reuse strategy amortizes (the gather's own
+        // allocations happen once per τ′, not per iteration).
         if self.is_reeval_iteration(t) {
             comm.set_phase("okt_reeval_gather");
             let all: Vec<CooGradient> = allgather_items(comm, sr.reduced_region.clone());
             let values: Vec<f32> =
                 all.iter().flat_map(|g| g.values().iter().copied()).collect();
-            self.global_th = exact_threshold(&values, self.cfg.k);
+            self.global_th = exact_threshold_scratch(&values, self.cfg.k, &mut self.scratch);
         }
 
         // Line 13: balance and allgatherv over the global-threshold survivors.
-        let survivors = sr.reduced_region.filter_abs_ge(self.global_th);
+        let survivors = filter_abs_ge_scratch(&sr.reduced_region, self.global_th, &mut self.scratch);
+        self.scratch.recycle(sr.reduced_region);
         let bal = balance_and_allgatherv(comm, &self.cfg, survivors);
 
         // Line 14: indexes of local values that contributed to the global top-k.
-        let contributed = intersect_sorted(&sr.local_topk_indexes, bal.global_topk.indexes());
+        let contributed = intersect_sorted(local.indexes(), bal.global_topk.indexes());
+        let local_nnz = sr.local_nnz;
+        self.scratch.recycle(local);
 
         OkTopkOutput {
             global_nnz: bal.global_nnz,
@@ -137,7 +149,7 @@ impl OkTopk {
             contributed,
             local_th,
             global_th: self.global_th,
-            local_nnz: sr.local_nnz,
+            local_nnz,
         }
     }
 }
@@ -165,6 +177,7 @@ mod tests {
     use super::*;
     use rand::prelude::*;
     use simnet::{Cluster, CostModel};
+    use sparse::select::{exact_threshold, select_ge};
 
     fn random_accs(p: usize, n: usize, seed: u64) -> Vec<Vec<f32>> {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -17,9 +17,15 @@ use simnet::Net;
 use sparse::CooGradient;
 
 /// Per-worker Ok-Topk SGD state: the allreduce state plus the residual ε.
+///
+/// The accumulator buffer is persistent: each step fuses ε + scale·grad into it
+/// in place and then *swaps* it with the residual, so the dense O(n) part of a
+/// step performs no heap allocation after the first iteration.
 pub struct OkTopkSgd {
     allreduce: OkTopk,
     residual: Vec<f32>,
+    /// Reused accumulator storage (previous iteration's residual buffer).
+    acc: Vec<f32>,
     t: usize,
 }
 
@@ -36,7 +42,7 @@ impl OkTopkSgd {
     /// Fresh optimizer state (zero residual) for the given configuration.
     pub fn new(cfg: OkTopkConfig) -> Self {
         let n = cfg.n;
-        Self { allreduce: OkTopk::new(cfg), residual: vec![0.0; n], t: 0 }
+        Self { allreduce: OkTopk::new(cfg), residual: vec![0.0; n], acc: vec![0.0; n], t: 0 }
     }
 
     /// The residual ε currently held by this worker.
@@ -90,14 +96,18 @@ impl OkTopkSgd {
         assert_eq!(grad.len(), self.residual.len());
         self.t += 1;
 
-        // Line 4: accumulate residuals into the fresh gradient.
-        let acc = self.peek_accumulator(grad, scale);
+        // Line 4: accumulate residuals into the fresh gradient — fused into the
+        // persistent accumulator buffer, no allocation.
+        for ((a, &e), &g) in self.acc.iter_mut().zip(&self.residual).zip(grad) {
+            *a = e + scale * g;
+        }
 
         // Line 5: O(k) sparse allreduce of the accumulator.
-        let meta = self.allreduce.allreduce(comm, &acc, self.t);
+        let meta = self.allreduce.allreduce(comm, &self.acc, self.t);
 
-        // Line 6: keep everything that did NOT contribute as the new residual.
-        self.residual = acc;
+        // Line 6: keep everything that did NOT contribute as the new residual;
+        // the old residual buffer becomes the next iteration's accumulator.
+        std::mem::swap(&mut self.residual, &mut self.acc);
         for &i in &meta.contributed {
             self.residual[i as usize] = 0.0;
         }

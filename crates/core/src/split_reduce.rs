@@ -13,43 +13,40 @@
 
 use crate::config::OkTopkConfig;
 use simnet::Net;
-use sparse::CooGradient;
+use sparse::{CooGradient, SelectScratch};
 
 const TAG_SPLIT: u64 = 0x40;
 
-/// Result of split-and-reduce on one worker.
+/// Result of split-and-reduce on one worker. The caller still holds the local
+/// top-k selection it passed in, so only the reduced region travels back.
 pub struct SplitReduceOutput {
     /// Sum over all workers of their local top-k entries falling in *my* region.
     pub reduced_region: CooGradient,
-    /// Indexes of my local top-k selection (needed for the residual update).
-    pub local_topk_indexes: Vec<u32>,
     /// Number of local top-k values selected (Fig. 6 instrumentation).
     pub local_nnz: usize,
 }
 
 /// Run split-and-reduce: `local` is this worker's threshold-selected sparse
-/// accumulator, `boundaries` the agreed `P+1` region boundaries.
+/// accumulator, `boundaries` the agreed `P+1` region boundaries. `scratch`
+/// provides the spare buffers for the allocation-free shard merges (and
+/// receives the storage of consumed incoming shards for reuse).
 pub fn split_and_reduce<C: Net>(
     comm: &mut C,
     cfg: &OkTopkConfig,
     local: &CooGradient,
     boundaries: &[u32],
+    scratch: &mut SelectScratch,
 ) -> SplitReduceOutput {
     comm.set_phase("okt_split_reduce");
     let p = comm.size();
     let rank = comm.rank();
-    let local_topk_indexes = local.indexes().to_vec();
     let local_nnz = local.nnz();
 
     if p == 1 {
-        return SplitReduceOutput {
-            reduced_region: local.clone(),
-            local_topk_indexes,
-            local_nnz,
-        };
+        return SplitReduceOutput { reduced_region: local.clone(), local_nnz };
     }
 
-    let shards = local.split_by_boundaries(boundaries);
+    let mut shards = local.split_by_boundaries(boundaries);
     debug_assert_eq!(shards.len(), p);
 
     // Step s (1-based) pairs: send to (rank+s) mod P, receive from (rank−s) mod P.
@@ -66,15 +63,17 @@ pub fn split_and_reduce<C: Net>(
         (0..p).filter(|&d| d != rank).collect()
     };
 
-    let mut acc = shards[rank].clone();
+    let mut acc = std::mem::take(&mut shards[rank]);
+    let (mut spare_idx, mut spare_val) = scratch.take_pair();
     let bucket = cfg.bucket_size.max(1);
     let mut sent = 0usize;
     let mut received = 0usize;
     while sent < send_order.len() || received < recv_order.len() {
-        // Fire the next bucket of non-blocking sends…
+        // Fire the next bucket of non-blocking sends… (shards move onto the
+        // wire instead of being cloned; each is sent exactly once)
         let send_hi = (sent + bucket).min(send_order.len());
         for &dst in &send_order[sent..send_hi] {
-            comm.send(dst, TAG_SPLIT, shards[dst].clone());
+            comm.send(dst, TAG_SPLIT, std::mem::take(&mut shards[dst]));
         }
         sent = send_hi;
         // …then drain and reduce the matching bucket of arrivals (this merge
@@ -83,15 +82,17 @@ pub fn split_and_reduce<C: Net>(
         for &src in &recv_order[received..recv_hi] {
             let got: CooGradient = comm.recv(src, TAG_SPLIT);
             let merged = acc.nnz() + got.nnz();
-            acc.merge_sum_into(&got);
+            acc.merge_sum_swap(&got, &mut spare_idx, &mut spare_val);
+            scratch.recycle(got);
             if cfg.merge_cost_per_elem > 0.0 {
                 comm.compute(cfg.merge_cost_per_elem * merged as f64);
             }
         }
         received = recv_hi;
     }
+    scratch.recycle_parts(spare_idx, spare_val);
 
-    SplitReduceOutput { reduced_region: acc, local_topk_indexes, local_nnz }
+    SplitReduceOutput { reduced_region: acc, local_nnz }
 }
 
 #[cfg(test)]
@@ -119,7 +120,9 @@ mod tests {
         let cfg = cfg_mod(OkTopkConfig::new(n, k));
         let bounds = equal_boundaries(n as u32, p);
         let report = Cluster::new(p, CostModel::aries()).run(|comm| {
-            split_and_reduce(comm, &cfg, &locals[comm.rank()].clone(), &bounds).reduced_region
+            let mut scratch = SelectScratch::new();
+            split_and_reduce(comm, &cfg, &locals[comm.rank()].clone(), &bounds, &mut scratch)
+                .reduced_region
         });
         let makespan = report.makespan();
         (locals, report.results, makespan)
@@ -175,12 +178,12 @@ mod tests {
         let local = CooGradient::from_sorted(vec![1, 3], vec![0.5, -1.0]);
         let cfg = OkTopkConfig::new(10, 2);
         let report = Cluster::new(1, CostModel::free()).run(|comm| {
-            let out = split_and_reduce(comm, &cfg, &local.clone(), &[0, 10]);
-            (out.reduced_region, out.local_topk_indexes, out.local_nnz)
+            let mut scratch = SelectScratch::new();
+            let out = split_and_reduce(comm, &cfg, &local.clone(), &[0, 10], &mut scratch);
+            (out.reduced_region, out.local_nnz)
         });
-        let (region, idx, nnz) = &report.results[0];
+        let (region, nnz) = &report.results[0];
         assert_eq!(region, &local);
-        assert_eq!(idx, &vec![1, 3]);
         assert_eq!(*nnz, 2);
     }
 
@@ -198,7 +201,8 @@ mod tests {
         let cfg = OkTopkConfig::new(n, k);
         let bounds = equal_boundaries(n as u32, p);
         let report = Cluster::new(p, CostModel::aries()).run(|comm| {
-            split_and_reduce(comm, &cfg, &locals[comm.rank()].clone(), &bounds);
+            let mut scratch = SelectScratch::new();
+            split_and_reduce(comm, &cfg, &locals[comm.rank()].clone(), &bounds, &mut scratch);
         });
         let bound = 2.0 * k as f64 * (p - 1) as f64 / p as f64;
         for rank in 0..p {

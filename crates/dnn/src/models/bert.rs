@@ -265,10 +265,13 @@ mod tests {
         // BertLite convergence is exercised by the fig13 harness in release mode.
         let mut m = BertLite::with_width(5, 16, 32, 2, 1, 64, 12);
         let data = SyntheticMaskedLm::with_shape(6, 16, 12, 0.2);
-        let mut opt = crate::optim::Adam::new(1e-2, 0.9, 0.999, 1e-8, 0.0, m.num_params());
+        let mut opt = crate::optim::Adam::new(5e-3, 0.9, 0.999, 1e-8, 0.0, m.num_params());
         let before = m.evaluate(&data.test_batch(0, 16)).mean_loss();
-        for it in 0..150 {
-            let b = data.train_batch(it, 0, 1, 8);
+        // The loss plateaus near unigram entropy (≈2.5) for a long stretch before
+        // attention locks onto the bigram structure; 400 iterations clears that
+        // plateau with margin at this width.
+        for it in 0..400 {
+            let b = data.train_batch(it, 0, 1, 16);
             m.zero_grads();
             m.forward_backward(&b);
             let g = m.grads().to_vec();

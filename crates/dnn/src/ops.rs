@@ -3,12 +3,85 @@
 //! All kernels operate on row-major `[rows, cols]` slices. They are written for
 //! clarity with cache-friendly loop orders (ikj matmul); model sizes in this
 //! reproduction are small enough that no blocking is needed.
+//!
+//! The three matmul kernels carry the forward/backward flops and are
+//! data-parallel: the public entry points dispatch to chunked workers
+//! (`crossbeam::thread::scope` over [`okpar::chunk_ranges`] partitions of the
+//! *output* space) when [`okpar::configured_threads`] > 1 — the `OKTOPK_THREADS`
+//! knob — and the problem clears [`PAR_MIN_FLOPS`]. Because each worker owns a
+//! disjoint slice of the output and walks it in the same order as the serial
+//! loop, every output element sees the identical sequence of f32 operations:
+//! the result is bit-identical to the serial kernel for any thread count
+//! (asserted by the `kernel_parity` proptest suite). The `*_with_threads`
+//! variants take the thread count explicitly (no size gate) for tests and
+//! benches, which must not race on the process-global knob.
+
+/// Multiply-accumulate count below which the matmul dispatchers stay serial;
+/// thread handoff costs more than the arithmetic under this.
+pub const PAR_MIN_FLOPS: usize = 1 << 15;
+
+fn matmul_threads(rows: usize, inner: usize, cols: usize) -> usize {
+    if rows * inner * cols < PAR_MIN_FLOPS {
+        1
+    } else {
+        okpar::configured_threads()
+    }
+}
+
+/// Split a mutable slice into consecutive row-chunks of `rows_of[i] * width`.
+fn split_rows<'a>(
+    mut s: &'a mut [f32],
+    ranges: &[std::ops::Range<usize>],
+    width: usize,
+) -> Vec<&'a mut [f32]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    for r in ranges {
+        let (head, tail) = std::mem::take(&mut s).split_at_mut(r.len() * width);
+        out.push(head);
+        s = tail;
+    }
+    debug_assert!(s.is_empty());
+    out
+}
 
 /// `out[b, j] += Σᵢ x[b, i] · w[i, j]` — x: `[rows, inner]`, w: `[inner, cols]`.
 pub fn matmul_acc(x: &[f32], w: &[f32], out: &mut [f32], rows: usize, inner: usize, cols: usize) {
+    matmul_acc_with_threads(x, w, out, rows, inner, cols, matmul_threads(rows, inner, cols));
+}
+
+/// [`matmul_acc`] with an explicit thread count; bit-identical for any `threads`.
+pub fn matmul_acc_with_threads(
+    x: &[f32],
+    w: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    inner: usize,
+    cols: usize,
+    threads: usize,
+) {
     debug_assert_eq!(x.len(), rows * inner);
     debug_assert_eq!(w.len(), inner * cols);
     debug_assert_eq!(out.len(), rows * cols);
+    let ranges = okpar::chunk_ranges(rows, threads);
+    if ranges.len() <= 1 {
+        return matmul_acc_rows(x, w, out, rows, inner, cols);
+    }
+    crossbeam::thread::scope(|s| {
+        let out_parts = split_rows(out, &ranges, cols);
+        let mut handles = Vec::with_capacity(ranges.len());
+        for (r, op) in ranges.iter().zip(out_parts) {
+            let xp = &x[r.start * inner..r.end * inner];
+            handles.push(s.spawn(move || matmul_acc_rows(xp, w, op, r.len(), inner, cols)));
+        }
+        for h in handles {
+            h.join().expect("matmul worker panicked");
+        }
+    })
+    .expect("scope");
+}
+
+/// Serial row-range worker for [`matmul_acc`].
+fn matmul_acc_rows(x: &[f32], w: &[f32], out: &mut [f32], rows: usize, inner: usize, cols: usize) {
     for b in 0..rows {
         let xb = &x[b * inner..(b + 1) * inner];
         let ob = &mut out[b * cols..(b + 1) * cols];
@@ -27,6 +100,42 @@ pub fn matmul_acc(x: &[f32], w: &[f32], out: &mut [f32], rows: usize, inner: usi
 /// `out[b, i] += Σⱼ dy[b, j] · w[i, j]` — gradient w.r.t. the input of a matmul
 /// (dy: `[rows, cols]`, w: `[inner, cols]`, out: `[rows, inner]`).
 pub fn matmul_acc_wt(dy: &[f32], w: &[f32], out: &mut [f32], rows: usize, inner: usize, cols: usize) {
+    matmul_acc_wt_with_threads(dy, w, out, rows, inner, cols, matmul_threads(rows, inner, cols));
+}
+
+/// [`matmul_acc_wt`] with an explicit thread count; bit-identical for any `threads`.
+pub fn matmul_acc_wt_with_threads(
+    dy: &[f32],
+    w: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    inner: usize,
+    cols: usize,
+    threads: usize,
+) {
+    debug_assert_eq!(dy.len(), rows * cols);
+    debug_assert_eq!(w.len(), inner * cols);
+    debug_assert_eq!(out.len(), rows * inner);
+    let ranges = okpar::chunk_ranges(rows, threads);
+    if ranges.len() <= 1 {
+        return matmul_acc_wt_rows(dy, w, out, rows, inner, cols);
+    }
+    crossbeam::thread::scope(|s| {
+        let out_parts = split_rows(out, &ranges, inner);
+        let mut handles = Vec::with_capacity(ranges.len());
+        for (r, op) in ranges.iter().zip(out_parts) {
+            let dyp = &dy[r.start * cols..r.end * cols];
+            handles.push(s.spawn(move || matmul_acc_wt_rows(dyp, w, op, r.len(), inner, cols)));
+        }
+        for h in handles {
+            h.join().expect("matmul_wt worker panicked");
+        }
+    })
+    .expect("scope");
+}
+
+/// Serial row-range worker for [`matmul_acc_wt`].
+fn matmul_acc_wt_rows(dy: &[f32], w: &[f32], out: &mut [f32], rows: usize, inner: usize, cols: usize) {
     for b in 0..rows {
         let dyb = &dy[b * cols..(b + 1) * cols];
         let ob = &mut out[b * inner..(b + 1) * inner];
@@ -43,14 +152,66 @@ pub fn matmul_acc_wt(dy: &[f32], w: &[f32], out: &mut [f32], rows: usize, inner:
 
 /// `dw[i, j] += Σ_b x[b, i] · dy[b, j]` — gradient w.r.t. the weights of a matmul.
 pub fn matmul_acc_xt(x: &[f32], dy: &[f32], dw: &mut [f32], rows: usize, inner: usize, cols: usize) {
+    matmul_acc_xt_with_threads(x, dy, dw, rows, inner, cols, matmul_threads(rows, inner, cols));
+}
+
+/// [`matmul_acc_xt`] with an explicit thread count; bit-identical for any `threads`.
+///
+/// Unlike the other two kernels this one reduces over the batch dimension, so
+/// the partition is over the *inner* dimension (disjoint `dw` row blocks): each
+/// worker keeps the serial `b`-outer accumulation order for its rows, preserving
+/// bit-identity.
+pub fn matmul_acc_xt_with_threads(
+    x: &[f32],
+    dy: &[f32],
+    dw: &mut [f32],
+    rows: usize,
+    inner: usize,
+    cols: usize,
+    threads: usize,
+) {
+    debug_assert_eq!(x.len(), rows * inner);
+    debug_assert_eq!(dy.len(), rows * cols);
+    debug_assert_eq!(dw.len(), inner * cols);
+    let ranges = okpar::chunk_ranges(inner, threads);
+    if ranges.len() <= 1 {
+        return matmul_acc_xt_inner(x, dy, dw, rows, inner, cols, 0..inner);
+    }
+    crossbeam::thread::scope(|s| {
+        let dw_parts = split_rows(dw, &ranges, cols);
+        let mut handles = Vec::with_capacity(ranges.len());
+        for (r, dwp) in ranges.iter().zip(dw_parts) {
+            let r = r.clone();
+            handles.push(s.spawn(move || matmul_acc_xt_inner(x, dy, dwp, rows, inner, cols, r)));
+        }
+        for h in handles {
+            h.join().expect("matmul_xt worker panicked");
+        }
+    })
+    .expect("scope");
+}
+
+/// Serial worker for [`matmul_acc_xt`] restricted to inner indexes `i_range`;
+/// `dw` holds only that block's rows.
+fn matmul_acc_xt_inner(
+    x: &[f32],
+    dy: &[f32],
+    dw: &mut [f32],
+    rows: usize,
+    inner: usize,
+    cols: usize,
+    i_range: std::ops::Range<usize>,
+) {
     for b in 0..rows {
         let xb = &x[b * inner..(b + 1) * inner];
         let dyb = &dy[b * cols..(b + 1) * cols];
-        for (i, &xv) in xb.iter().enumerate() {
+        for i in i_range.clone() {
+            let xv = xb[i];
             if xv == 0.0 {
                 continue;
             }
-            let dwrow = &mut dw[i * cols..(i + 1) * cols];
+            let local = i - i_range.start;
+            let dwrow = &mut dw[local * cols..(local + 1) * cols];
             for (dwv, &d) in dwrow.iter_mut().zip(dyb) {
                 *dwv += xv * d;
             }
@@ -216,6 +377,37 @@ mod tests {
                 }
                 assert!((dw[i * cols + j] - want).abs() < 1e-6);
             }
+        }
+    }
+
+    #[test]
+    fn chunked_matmuls_bit_identical_to_serial() {
+        // Deterministic pseudo-random shapes/values; compare every parallel
+        // variant bitwise against the single-thread run.
+        let (rows, inner, cols) = (7, 13, 5);
+        let x: Vec<f32> = (0..rows * inner)
+            .map(|i| if i % 5 == 0 { 0.0 } else { ((i * 37 % 101) as f32 - 50.0) * 0.01 })
+            .collect();
+        let w: Vec<f32> = (0..inner * cols).map(|i| ((i * 53 % 97) as f32 - 48.0) * 0.02).collect();
+        let dy: Vec<f32> = (0..rows * cols).map(|i| ((i * 29 % 89) as f32 - 44.0) * 0.03).collect();
+
+        let mut out1 = vec![0.1f32; rows * cols];
+        matmul_acc_with_threads(&x, &w, &mut out1, rows, inner, cols, 1);
+        let mut dx1 = vec![0.2f32; rows * inner];
+        matmul_acc_wt_with_threads(&dy, &w, &mut dx1, rows, inner, cols, 1);
+        let mut dw1 = vec![0.3f32; inner * cols];
+        matmul_acc_xt_with_threads(&x, &dy, &mut dw1, rows, inner, cols, 1);
+
+        for threads in [2usize, 3, 4, 7, 16] {
+            let mut out = vec![0.1f32; rows * cols];
+            matmul_acc_with_threads(&x, &w, &mut out, rows, inner, cols, threads);
+            assert_eq!(out, out1, "matmul_acc threads={threads}");
+            let mut dx = vec![0.2f32; rows * inner];
+            matmul_acc_wt_with_threads(&dy, &w, &mut dx, rows, inner, cols, threads);
+            assert_eq!(dx, dx1, "matmul_acc_wt threads={threads}");
+            let mut dw = vec![0.3f32; inner * cols];
+            matmul_acc_xt_with_threads(&x, &dy, &mut dw, rows, inner, cols, threads);
+            assert_eq!(dw, dw1, "matmul_acc_xt threads={threads}");
         }
     }
 

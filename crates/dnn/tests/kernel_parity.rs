@@ -1,0 +1,148 @@
+//! Parallel/serial parity for the chunked dense kernels.
+//!
+//! `matmul_acc*_with_threads` partition the output (or, for `xt`, the inner
+//! dimension) into disjoint blocks and keep the serial per-element accumulation
+//! order inside each block, so results must be *bit-identical* to the serial
+//! kernel for every thread count — including thread counts that do not divide
+//! the partitioned dimension.
+
+use dnn::ops::{
+    matmul_acc_with_threads, matmul_acc_wt_with_threads, matmul_acc_xt_with_threads,
+};
+use proptest::prelude::*;
+
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+fn bits(values: &[f32]) -> Vec<u32> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Matrix entries with a healthy dose of exact zeros (the kernels skip
+/// zero multiplicands, which must not perturb the accumulation order of the
+/// surviving terms).
+fn mat(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(
+        prop_oneof![-2.0f32..2.0f32, -2.0f32..2.0f32, -2.0f32..2.0f32, Just(0.0f32)],
+        len..=len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_acc_parity(
+        (rows, inner, cols) in (1usize..9, 1usize..9, 1usize..9),
+        seed in 0u64..1000,
+    ) {
+        let (x, w, init) = materialize(rows * inner, inner * cols, rows * cols, seed);
+        let mut want = init.clone();
+        matmul_acc_with_threads(&x, &w, &mut want, rows, inner, cols, 1);
+        for threads in THREADS {
+            let mut got = init.clone();
+            matmul_acc_with_threads(&x, &w, &mut got, rows, inner, cols, threads);
+            prop_assert_eq!(bits(&got), bits(&want), "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn matmul_acc_wt_parity(
+        (rows, inner, cols) in (1usize..9, 1usize..9, 1usize..9),
+        seed in 0u64..1000,
+    ) {
+        let (dy, w, init) = materialize(rows * cols, inner * cols, rows * inner, seed);
+        let mut want = init.clone();
+        matmul_acc_wt_with_threads(&dy, &w, &mut want, rows, inner, cols, 1);
+        for threads in THREADS {
+            let mut got = init.clone();
+            matmul_acc_wt_with_threads(&dy, &w, &mut got, rows, inner, cols, threads);
+            prop_assert_eq!(bits(&got), bits(&want), "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn matmul_acc_xt_parity(
+        (rows, inner, cols) in (1usize..9, 1usize..9, 1usize..9),
+        seed in 0u64..1000,
+    ) {
+        let (x, dy, init) = materialize(rows * inner, rows * cols, inner * cols, seed);
+        let mut want = init.clone();
+        matmul_acc_xt_with_threads(&x, &dy, &mut want, rows, inner, cols, 1);
+        for threads in THREADS {
+            let mut got = init.clone();
+            matmul_acc_xt_with_threads(&x, &dy, &mut got, rows, inner, cols, threads);
+            prop_assert_eq!(bits(&got), bits(&want), "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn random_values_parity(
+        a in mat(7 * 5),
+        b in mat(5 * 3),
+        init in mat(7 * 3),
+    ) {
+        // Proptest-drawn values (zeros included) through the forward kernel.
+        let mut want = init.clone();
+        matmul_acc_with_threads(&a, &b, &mut want, 7, 5, 3, 1);
+        for threads in THREADS {
+            let mut got = init.clone();
+            matmul_acc_with_threads(&a, &b, &mut got, 7, 5, 3, threads);
+            prop_assert_eq!(bits(&got), bits(&want), "threads={}", threads);
+        }
+    }
+}
+
+/// Deterministic pseudo-random matrices (sin-based, ~20% exact zeros) so the
+/// shape-sweep test below needs no RNG plumbing.
+fn materialize(la: usize, lb: usize, lout: usize, seed: u64) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let gen = |len: usize, salt: u64| -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let v = (((i as u64).wrapping_mul(2654435761).wrapping_add(seed * 97 + salt)
+                    % 1000) as f32
+                    / 500.0)
+                    - 1.0;
+                if v.abs() < 0.2 { 0.0 } else { v }
+            })
+            .collect()
+    };
+    (gen(la, 1), gen(lb, 2), gen(lout, 3))
+}
+
+/// Shapes where the partitioned dimension is smaller than, equal to, and not a
+/// multiple of the thread count.
+#[test]
+fn awkward_shapes_are_bit_identical() {
+    for &threads in &THREADS {
+        for &(rows, inner, cols) in &[
+            (1usize, 1usize, 1usize),
+            (2, 3, 1),
+            (3, 7, 2),
+            (7, 13, 5),
+            (8, 8, 8),
+            (13, 4, 9),
+            (17, 2, 3),
+        ] {
+            let (x, w, init) = materialize(rows * inner, inner * cols, rows * cols, 42);
+            let mut want = init.clone();
+            matmul_acc_with_threads(&x, &w, &mut want, rows, inner, cols, 1);
+            let mut got = init.clone();
+            matmul_acc_with_threads(&x, &w, &mut got, rows, inner, cols, threads);
+            assert_eq!(got, want, "matmul_acc {rows}x{inner}x{cols} threads={threads}");
+
+            let (dy, w2, init2) = materialize(rows * cols, inner * cols, rows * inner, 43);
+            let mut want2 = init2.clone();
+            matmul_acc_wt_with_threads(&dy, &w2, &mut want2, rows, inner, cols, 1);
+            let mut got2 = init2.clone();
+            matmul_acc_wt_with_threads(&dy, &w2, &mut got2, rows, inner, cols, threads);
+            assert_eq!(got2, want2, "matmul_acc_wt {rows}x{inner}x{cols} threads={threads}");
+
+            let (x3, dy3, init3) = materialize(rows * inner, rows * cols, inner * cols, 44);
+            let mut want3 = init3.clone();
+            matmul_acc_xt_with_threads(&x3, &dy3, &mut want3, rows, inner, cols, 1);
+            let mut got3 = init3.clone();
+            matmul_acc_xt_with_threads(&x3, &dy3, &mut got3, rows, inner, cols, threads);
+            assert_eq!(got3, want3, "matmul_acc_xt {rows}x{inner}x{cols} threads={threads}");
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Intra-rank data parallelism policy for the hot-path kernels.
+//!
+//! Every parallel kernel in this workspace (the dense matmuls in `dnn`, the
+//! threshold scan and quickselect magnitude pass in `sparse`) asks this crate
+//! how many worker threads to use and how to partition its index space. Keeping
+//! the policy in one place gives a single knob — the `OKTOPK_THREADS`
+//! environment variable, or [`set_threads`] programmatically — and one
+//! partitioning rule, so the deterministic chunk-merge contract (bit-identical
+//! output to the serial kernel, any thread count) is auditable in one file.
+//!
+//! Resolution order for the thread count:
+//! 1. the last [`set_threads`] call, if any;
+//! 2. `OKTOPK_THREADS` (positive integer) read once at first use;
+//! 3. [`std::thread::available_parallelism`].
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Hard cap on worker threads; far above any sane `OKTOPK_THREADS` setting,
+/// guards against pathological env values allocating huge chunk tables.
+pub const MAX_THREADS: usize = 256;
+
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0); // 0 = no override
+static ENV_DEFAULT: OnceLock<usize> = OnceLock::new();
+
+fn env_default() -> usize {
+    *ENV_DEFAULT.get_or_init(|| {
+        if let Ok(raw) = std::env::var("OKTOPK_THREADS") {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n.min(MAX_THREADS);
+                }
+            }
+            eprintln!("okpar: ignoring invalid OKTOPK_THREADS={raw:?} (want a positive integer)");
+        }
+        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    })
+}
+
+/// Number of worker threads the parallel kernels will use (>= 1).
+pub fn configured_threads() -> usize {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        0 => env_default(),
+        n => n,
+    }
+}
+
+/// Override the thread count process-wide (e.g. from a bench harness sweeping
+/// thread counts). `set_threads(0)` clears the override, returning control to
+/// `OKTOPK_THREADS` / available parallelism.
+pub fn set_threads(n: usize) {
+    OVERRIDE.store(n.min(MAX_THREADS), Ordering::Relaxed);
+}
+
+/// Split `0..len` into at most `threads` contiguous ranges of near-equal size
+/// (first `len % threads` ranges get one extra element). Never returns empty
+/// ranges: fewer chunks than `threads` when `len < threads`, and an empty
+/// vector only when `len == 0`.
+///
+/// Every parallel kernel MUST consume these ranges in order when merging so
+/// the result is bit-identical to a serial left-to-right pass.
+pub fn chunk_ranges(len: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    let threads = threads.clamp(1, MAX_THREADS);
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = threads.min(len);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_exactly_in_order() {
+        for len in [0usize, 1, 2, 3, 7, 8, 100, 101] {
+            for threads in [1usize, 2, 3, 4, 7, 16] {
+                let ranges = chunk_ranges(len, threads);
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect, "len={len} threads={threads}");
+                    assert!(!r.is_empty(), "len={len} threads={threads}");
+                    expect = r.end;
+                }
+                assert_eq!(expect, len, "len={len} threads={threads}");
+                assert!(ranges.len() <= threads.min(len.max(1)));
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_balanced() {
+        let ranges = chunk_ranges(10, 4); // 3,3,2,2
+        let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn configured_threads_positive_and_overridable() {
+        assert!(configured_threads() >= 1);
+        set_threads(3);
+        assert_eq!(configured_threads(), 3);
+        set_threads(0);
+        assert!(configured_threads() >= 1);
+    }
+}

@@ -1,0 +1,84 @@
+//! Offline shim for `crossbeam-channel` (API subset used by this workspace).
+//!
+//! Wraps `std::sync::mpsc` behind crossbeam-channel's names. Only the unbounded
+//! MPSC shape is provided — which is exactly how `simnet` uses channels: every
+//! rank owns its `Receiver`, all other ranks hold `Sender` clones.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+/// Sending half of an unbounded channel. Cloneable; sends never block.
+pub struct Sender<T> {
+    inner: mpsc::Sender<T>,
+}
+
+// mpsc::Sender is Clone but the derive would require T: Clone; implement manually.
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Self { inner: self.inner.clone() }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueue a message; fails only if the receiver was dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.inner.send(value)
+    }
+}
+
+/// Receiving half of an unbounded channel.
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives or all senders are dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv()
+    }
+
+    /// Block up to `timeout` for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.inner.recv_timeout(timeout)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.inner.try_recv()
+    }
+}
+
+/// An unbounded FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender { inner: tx }, Receiver { inner: rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_across_threads() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        let t = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx2.send(i).unwrap();
+            }
+        });
+        t.join().unwrap();
+        drop(tx);
+        let got: Vec<u32> = std::iter::from_fn(|| rx.try_recv().ok()).collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = unbounded::<u32>();
+        let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, RecvTimeoutError::Timeout);
+    }
+}

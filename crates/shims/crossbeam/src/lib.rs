@@ -1,0 +1,71 @@
+//! Offline shim for `crossbeam` (API subset used by this workspace).
+//!
+//! Provides `crossbeam::thread::scope` backed by `std::thread::scope` (which
+//! post-dates crossbeam's scoped threads and supersedes them). Two deliberate
+//! deviations from the real crate, both at our own call sites:
+//!
+//! - `Scope::spawn` takes a plain `FnOnce() -> T` (std style) instead of
+//!   crossbeam's `FnOnce(&Scope) -> T`; no kernel here nests spawns.
+//! - `scope` always returns `Ok(..)`: a panicking child that was not joined
+//!   re-panics out of the enclosing `std::thread::scope` instead of being
+//!   captured in the `Err` variant.
+
+pub use crossbeam_channel as channel;
+
+/// Scoped threads (see crate docs for the deviations from real crossbeam).
+pub mod thread {
+    /// Join/scope result; `Err` carries a child thread's panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// Handle for spawning threads that may borrow from the enclosing scope.
+    pub struct Scope<'scope, 'env> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread; it may borrow anything outliving the scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle { inner: self.inner.spawn(f) }
+        }
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread and take its result (Err on child panic).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Run `f` with a [`Scope`]; all spawned threads are joined before return.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = crate::thread::scope(|s| {
+            let (lo, hi) = data.split_at(2);
+            let a = s.spawn(|| lo.iter().sum::<u64>());
+            let b = s.spawn(|| hi.iter().sum::<u64>());
+            a.join().unwrap() + b.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

@@ -17,6 +17,9 @@ pub struct Cluster {
     /// Stack size for rank threads. Training loops keep their state on the heap, but a
     /// little headroom avoids surprises with deep call chains in debug builds.
     stack_bytes: usize,
+    /// Wall-clock recv deadline override; `None` defers to `SIMNET_RECV_DEADLOCK_SECS`
+    /// (else the 180 s default).
+    recv_timeout: Option<std::time::Duration>,
 }
 
 /// Everything a simulation run produces.
@@ -40,7 +43,17 @@ impl Cluster {
     /// A cluster of `size` ranks under the given cost model.
     pub fn new(size: usize, cost: CostModel) -> Self {
         assert!(size >= 1, "cluster needs at least one rank");
-        Self { size, cost, stack_bytes: 8 << 20 }
+        Self { size, cost, stack_bytes: 8 << 20, recv_timeout: None }
+    }
+
+    /// Override the wall-clock deadline after which a blocking `recv` declares the
+    /// simulation deadlocked (default: `SIMNET_RECV_DEADLOCK_SECS`, else 180 s).
+    /// Tests that *expect* a deadlock set this low to fail fast; long sweeps on
+    /// oversubscribed machines raise it.
+    pub fn with_recv_timeout(mut self, timeout: std::time::Duration) -> Self {
+        assert!(timeout > std::time::Duration::ZERO, "recv timeout must be positive");
+        self.recv_timeout = Some(timeout);
+        self
     }
 
     /// Number of ranks.
@@ -67,6 +80,8 @@ impl Cluster {
     {
         let ledger = Arc::new(Ledger::new());
         let barrier = Arc::new(BarrierState::new());
+        let recv_deadline =
+            self.recv_timeout.unwrap_or_else(crate::comm::default_recv_deadline);
         let (senders, receivers): (Vec<_>, Vec<_>) =
             (0..self.size).map(|_| unbounded::<Envelope>()).unzip();
 
@@ -84,8 +99,16 @@ impl Cluster {
                     .name(format!("rank-{rank}"))
                     .stack_size(self.stack_bytes)
                     .spawn_scoped(scope, move || {
-                        let mut comm =
-                            Comm::new(rank, self.size, self.cost, ledger, senders, inbox, barrier);
+                        let mut comm = Comm::new(
+                            rank,
+                            self.size,
+                            self.cost,
+                            ledger,
+                            senders,
+                            inbox,
+                            barrier,
+                            recv_deadline,
+                        );
                         let result = f(&mut comm);
                         (result, comm.local_finish_time())
                     })
@@ -217,6 +240,28 @@ mod tests {
             }
         });
         assert_eq!(report.results[1], 21);
+    }
+
+    #[test]
+    fn short_recv_timeout_turns_deadlock_into_fast_panic() {
+        // A recv with no matching send is a deadlock; with the per-cluster timeout
+        // lowered it must surface as a panic within the timeout, not after 180 s.
+        let start = std::time::Instant::now();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Cluster::new(2, CostModel::free())
+                .with_recv_timeout(std::time::Duration::from_millis(100))
+                .run(|comm| {
+                    if comm.rank() == 0 {
+                        let _: Vec<f32> = comm.recv(1, 0); // never sent
+                    }
+                })
+        }));
+        assert!(result.is_err(), "missing send must panic");
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(30),
+            "timeout did not take effect: {:?}",
+            start.elapsed()
+        );
     }
 
     #[test]

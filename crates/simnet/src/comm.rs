@@ -13,9 +13,33 @@ use std::time::Duration;
 /// Message tag, used to match sends with receives (like an MPI tag).
 pub type Tag = u64;
 
-/// How long a `recv` may block on the real channel before the simulation is declared
-/// deadlocked. Virtual time is unrelated; this only catches algorithm bugs in tests.
-const RECV_DEADLOCK: Duration = Duration::from_secs(180);
+/// Default wall-clock deadline for a `recv` blocking on the real channel before the
+/// simulation is declared deadlocked. Virtual time is unrelated; this only catches
+/// algorithm bugs in tests.
+const RECV_DEADLOCK_DEFAULT_SECS: u64 = 180;
+
+/// The recv-deadlock deadline in effect when a [`crate::Cluster`] does not set one
+/// explicitly: `SIMNET_RECV_DEADLOCK_SECS` (positive integer seconds, read once at
+/// first use), else [`RECV_DEADLOCK_DEFAULT_SECS`]. Long sweeps on loaded machines
+/// raise it; tests that *expect* a deadlock lower it to fail fast.
+pub(crate) fn default_recv_deadline() -> Duration {
+    static SECS: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    Duration::from_secs(*SECS.get_or_init(|| {
+        match std::env::var("SIMNET_RECV_DEADLOCK_SECS") {
+            Ok(raw) => match raw.trim().parse::<u64>() {
+                Ok(s) if s > 0 => s,
+                _ => {
+                    eprintln!(
+                        "simnet: ignoring invalid SIMNET_RECV_DEADLOCK_SECS={raw:?} \
+                         (want a positive integer of seconds)"
+                    );
+                    RECV_DEADLOCK_DEFAULT_SECS
+                }
+            },
+            Err(_) => RECV_DEADLOCK_DEFAULT_SECS,
+        }
+    }))
+}
 
 /// Latency charged for a dissemination barrier: `α·⌈log2 P⌉`.
 fn barrier_latency(cost: &CostModel, size: usize) -> f64 {
@@ -100,6 +124,8 @@ pub struct Comm {
     inbox: Receiver<Envelope>,
     mailbox: HashMap<(usize, Tag), VecDeque<Envelope>>,
     barrier: Arc<BarrierState>,
+    /// Wall-clock deadline after which a blocking `recv` declares deadlock.
+    recv_deadline: Duration,
 }
 
 impl Comm {
@@ -112,6 +138,7 @@ impl Comm {
         senders: Vec<Sender<Envelope>>,
         inbox: Receiver<Envelope>,
         barrier: Arc<BarrierState>,
+        recv_deadline: Duration,
     ) -> Self {
         Self {
             rank,
@@ -128,6 +155,7 @@ impl Comm {
             inbox,
             mailbox: HashMap::new(),
             barrier,
+            recv_deadline,
         }
     }
 
@@ -279,11 +307,12 @@ impl Comm {
             }
         }
         loop {
-            let env = self.inbox.recv_timeout(RECV_DEADLOCK).unwrap_or_else(|_| {
+            let env = self.inbox.recv_timeout(self.recv_deadline).unwrap_or_else(|_| {
                 panic!(
-                    "rank {}: recv(src={src}, tag={tag}) timed out — likely deadlock \
-                     or mismatched send/recv pattern",
-                    self.rank
+                    "rank {}: recv(src={src}, tag={tag}) timed out after {:?} — likely \
+                     deadlock or mismatched send/recv pattern (deadline configurable via \
+                     Cluster::with_recv_timeout or SIMNET_RECV_DEADLOCK_SECS)",
+                    self.rank, self.recv_deadline
                 )
             });
             if env.src == src && env.tag == tag {

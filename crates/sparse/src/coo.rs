@@ -76,6 +76,13 @@ impl CooGradient {
     pub fn merge_sum(&self, other: &Self) -> Self {
         let mut indexes = Vec::with_capacity(self.nnz() + other.nnz());
         let mut values = Vec::with_capacity(self.nnz() + other.nnz());
+        self.merge_sum_to(other, &mut indexes, &mut values);
+        Self { indexes, values }
+    }
+
+    /// The linear sort-merge core: append the merge of `self` and `other` to the
+    /// given output buffers.
+    fn merge_sum_to(&self, other: &Self, indexes: &mut Vec<u32>, values: &mut Vec<f32>) {
         let (mut a, mut b) = (0usize, 0usize);
         while a < self.nnz() && b < other.nnz() {
             match self.indexes[a].cmp(&other.indexes[b]) {
@@ -101,7 +108,6 @@ impl CooGradient {
         values.extend_from_slice(&self.values[a..]);
         indexes.extend_from_slice(&other.indexes[b..]);
         values.extend_from_slice(&other.values[b..]);
-        Self { indexes, values }
     }
 
     /// In-place merge-sum (avoids one allocation when accumulating many chunks).
@@ -115,6 +121,28 @@ impl CooGradient {
             return;
         }
         *self = self.merge_sum(other);
+    }
+
+    /// Merge-sum `other` into `self`, using the caller's spare buffers as the
+    /// output storage: after return `self` holds the merge and the spares hold
+    /// `self`'s previous (cleared) storage, ready for the next merge.
+    ///
+    /// This is the allocation-free accumulation loop of split-and-reduce: ping-
+    /// ponging one spare pair against the accumulator means a whole bucket of
+    /// incoming shards reduces without touching the heap once the spare capacity
+    /// covers the steady-state union size.
+    pub fn merge_sum_swap(&mut self, other: &Self, spare_idx: &mut Vec<u32>, spare_val: &mut Vec<f32>) {
+        if other.is_empty() {
+            return;
+        }
+        spare_idx.clear();
+        spare_val.clear();
+        // A no-op once warm: capacity only ratchets up to the largest a+b seen.
+        spare_idx.reserve(self.nnz() + other.nnz());
+        spare_val.reserve(self.nnz() + other.nnz());
+        self.merge_sum_to(other, spare_idx, spare_val);
+        std::mem::swap(&mut self.indexes, spare_idx);
+        std::mem::swap(&mut self.values, spare_val);
     }
 
     /// Merge-sum many sparse gradients at once.
@@ -251,6 +279,23 @@ mod tests {
         }
         assert_eq!(m.to_dense(10), dense);
         assert_eq!(m.nnz(), 5); // index 3 merged
+    }
+
+    #[test]
+    fn merge_sum_swap_matches_merge_sum() {
+        let a0 = coo(&[(0, 1.0), (3, -2.0), (7, 0.5)]);
+        let b = coo(&[(3, 2.0), (4, 1.0), (9, -1.0)]);
+        let mut a = a0.clone();
+        let (mut si, mut sv) = (Vec::new(), Vec::new());
+        a.merge_sum_swap(&b, &mut si, &mut sv);
+        assert_eq!(a, a0.merge_sum(&b));
+        // The spares now hold a's old storage and must be reusable immediately.
+        a.merge_sum_swap(&coo(&[(1, 1.0)]), &mut si, &mut sv);
+        assert_eq!(a, a0.merge_sum(&b).merge_sum(&coo(&[(1, 1.0)])));
+        // Merging an empty gradient is a no-op that leaves the spares alone.
+        let before = a.clone();
+        a.merge_sum_swap(&CooGradient::new(), &mut si, &mut sv);
+        assert_eq!(a, before);
     }
 
     #[test]

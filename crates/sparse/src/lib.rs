@@ -13,15 +13,19 @@
 //! - threshold estimators ([`threshold`]): the paper's periodic exact re-evaluation
 //!   with reuse (Ok-Topk) and the Gaussian percent-point estimator (Gaussiank),
 //! - balanced gradient-space partitioning for split-and-reduce ([`partition`]),
+//! - pooled scratch buffers + parallel scans for the zero-allocation steady-state
+//!   selection path ([`scratch`]),
 //! - numeric utilities ([`stats`]): erf, inverse normal CDF, moments, histograms.
 
 pub mod coo;
 pub mod partition;
 pub mod quant;
+pub mod scratch;
 pub mod select;
 pub mod stats;
 pub mod threshold;
 
 pub use coo::CooGradient;
+pub use scratch::SelectScratch;
 pub use select::{exact_threshold, select_ge, topk_exact};
 pub use threshold::{GaussianEstimator, PeriodicExactEstimator, ThresholdEstimator};

@@ -1,0 +1,429 @@
+//! Reusable scratch buffers for the steady-state selection hot path.
+//!
+//! Ok-Topk's per-iteration cost is dominated by a handful of O(n)/O(k) passes:
+//! the |value| fill feeding quickselect, the threshold scan, the survivor
+//! filter, and the shard merges of split-and-reduce. The algorithms are cheap;
+//! what hurts at steady state is that each pass conjures fresh `Vec`s and drops
+//! them microseconds later. [`SelectScratch`] owns that storage across
+//! iterations: buffers are taken from a pool, filled, handed out as
+//! [`CooGradient`]s, and recycled back once the gradient has been consumed.
+//! After a warm-up iteration or two the capacities cover the steady-state
+//! working set and the whole selection path performs **zero heap allocations**
+//! (asserted by the `zero_alloc` integration test).
+//!
+//! The `*_with_threads` variants additionally run their O(n) passes
+//! data-parallel over [`okpar::chunk_ranges`] partitions. Chunks are always
+//! consumed in index order, so the output is bit-identical to the serial pass
+//! for every thread count (asserted by the `parity` proptest suite). The
+//! auto-dispatching wrappers (`select_ge_scratch`, …) use
+//! [`okpar::configured_threads`] — the `OKTOPK_THREADS` knob — and fall back to
+//! the serial path below [`PAR_MIN_LEN`] elements, where thread handoff costs
+//! more than the scan. Note that spawning scoped threads itself allocates: the
+//! zero-allocation guarantee holds on the serial (single-thread) path, which is
+//! also the path the gate picks for steady-state-sized problems on one core.
+
+use crate::coo::CooGradient;
+use crate::select::quickselect;
+
+/// Input length below which the auto-dispatching wrappers stay serial: one
+/// O(n) pass over fewer elements than this is cheaper than a thread handoff.
+pub const PAR_MIN_LEN: usize = 1 << 14;
+
+/// Most buffer pairs ever retained in the pool; `recycle` beyond this drops the
+/// buffers instead of hoarding them.
+const MAX_POOL: usize = 8;
+
+/// Pooled scratch storage for the selection path. See the module docs.
+#[derive(Debug, Default)]
+pub struct SelectScratch {
+    /// Magnitude buffer for the quickselect pass (capacity grows to n).
+    mags: Vec<f32>,
+    /// Per-chunk counts for the two-pass parallel threshold scan.
+    counts: Vec<usize>,
+    idx_pool: Vec<Vec<u32>>,
+    val_pool: Vec<Vec<f32>>,
+    /// Largest nnz produced so far; `take_pair` pre-reserves this much so the
+    /// serial push loops never reallocate at steady state.
+    nnz_hint: usize,
+}
+
+impl SelectScratch {
+    /// Empty scratch; buffers warm up over the first iterations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scratch whose first `take_pair` already reserves `hint` entries.
+    pub fn with_nnz_hint(hint: usize) -> Self {
+        Self { nnz_hint: hint, ..Self::default() }
+    }
+
+    /// The current capacity hint (largest nnz seen so far).
+    pub fn nnz_hint(&self) -> usize {
+        self.nnz_hint
+    }
+
+    /// Take a cleared `(indexes, values)` buffer pair from the pool, with
+    /// capacity at least the current nnz hint.
+    pub fn take_pair(&mut self) -> (Vec<u32>, Vec<f32>) {
+        let mut idx = self.idx_pool.pop().unwrap_or_default();
+        let mut val = self.val_pool.pop().unwrap_or_default();
+        idx.clear();
+        val.clear();
+        // `reserve` is a no-op once the pooled capacity covers the hint.
+        idx.reserve(self.nnz_hint);
+        val.reserve(self.nnz_hint);
+        (idx, val)
+    }
+
+    /// Return a consumed gradient's storage to the pool.
+    pub fn recycle(&mut self, g: CooGradient) {
+        let (idx, val) = g.into_parts();
+        self.recycle_parts(idx, val);
+    }
+
+    /// Return raw parallel arrays to the pool.
+    pub fn recycle_parts(&mut self, idx: Vec<u32>, val: Vec<f32>) {
+        if self.idx_pool.len() < MAX_POOL {
+            self.idx_pool.push(idx);
+        }
+        if self.val_pool.len() < MAX_POOL {
+            self.val_pool.push(val);
+        }
+    }
+
+    fn note_nnz(&mut self, nnz: usize) {
+        self.nnz_hint = self.nnz_hint.max(nnz);
+    }
+}
+
+/// `select_ge` keep-predicate (exact zeros carry no information; see
+/// [`crate::select::select_ge`]).
+#[inline]
+fn keep(v: f32, threshold: f32) -> bool {
+    v.abs() >= threshold && v != 0.0
+}
+
+/// Split a mutable slice into consecutive sub-slices of the given lengths.
+fn split_by_lens<'a, T>(mut s: &'a mut [T], lens: &[usize]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(lens.len());
+    for &n in lens {
+        let (head, tail) = std::mem::take(&mut s).split_at_mut(n);
+        out.push(head);
+        s = tail;
+    }
+    debug_assert!(s.is_empty());
+    out
+}
+
+/// Pick the thread count for an auto-dispatched pass over `len` elements.
+fn auto_threads(len: usize) -> usize {
+    if len < PAR_MIN_LEN {
+        1
+    } else {
+        okpar::configured_threads()
+    }
+}
+
+/// [`crate::select::select_ge`] on pooled buffers, auto-parallel
+/// (`OKTOPK_THREADS`). Allocation-free at steady state on the serial path.
+pub fn select_ge_scratch(dense: &[f32], threshold: f32, scratch: &mut SelectScratch) -> CooGradient {
+    select_ge_with_threads(dense, threshold, scratch, auto_threads(dense.len()))
+}
+
+/// [`select_ge_scratch`] with an explicit thread count (no size gate); the
+/// result is bit-identical to the serial scan for every `threads`.
+pub fn select_ge_with_threads(
+    dense: &[f32],
+    threshold: f32,
+    scratch: &mut SelectScratch,
+    threads: usize,
+) -> CooGradient {
+    let (mut idx, mut val) = scratch.take_pair();
+    // Don't even build the chunk list on the serial path — it would be the hot
+    // loop's only allocation.
+    let chunks =
+        if threads <= 1 { Vec::new() } else { okpar::chunk_ranges(dense.len(), threads) };
+    if chunks.len() <= 1 {
+        for (i, &v) in dense.iter().enumerate() {
+            if keep(v, threshold) {
+                idx.push(i as u32);
+                val.push(v);
+            }
+        }
+    } else {
+        // Two passes so every entry lands exactly where the serial scan would
+        // put it: count matches per chunk, prefix-sum into disjoint output
+        // windows, then fill the windows in parallel.
+        let SelectScratch { counts, .. } = scratch;
+        counts.clear();
+        counts.resize(chunks.len(), 0);
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|r| {
+                    let part = &dense[r.clone()];
+                    s.spawn(move || part.iter().filter(|&&v| keep(v, threshold)).count())
+                })
+                .collect();
+            for (c, h) in counts.iter_mut().zip(handles) {
+                *c = h.join().expect("count worker panicked");
+            }
+        })
+        .expect("scope");
+        let total: usize = counts.iter().sum();
+        idx.resize(total, 0);
+        val.resize(total, 0.0);
+        crossbeam::thread::scope(|s| {
+            let idx_parts = split_by_lens(&mut idx, counts);
+            let val_parts = split_by_lens(&mut val, counts);
+            let mut handles = Vec::with_capacity(chunks.len());
+            for ((r, ip), vp) in chunks.iter().zip(idx_parts).zip(val_parts) {
+                let part = &dense[r.clone()];
+                let base = r.start as u32;
+                handles.push(s.spawn(move || {
+                    let mut w = 0usize;
+                    for (off, &v) in part.iter().enumerate() {
+                        if keep(v, threshold) {
+                            ip[w] = base + off as u32;
+                            vp[w] = v;
+                            w += 1;
+                        }
+                    }
+                    debug_assert_eq!(w, ip.len());
+                }));
+            }
+            for h in handles {
+                h.join().expect("fill worker panicked");
+            }
+        })
+        .expect("scope");
+    }
+    scratch.note_nnz(idx.len());
+    CooGradient::from_sorted(idx, val)
+}
+
+/// [`crate::select::exact_threshold`] on the pooled magnitude buffer,
+/// auto-parallel |value| fill. Allocation-free at steady state (serial path).
+pub fn exact_threshold_scratch(values: &[f32], k: usize, scratch: &mut SelectScratch) -> f32 {
+    exact_threshold_with_threads(values, k, scratch, auto_threads(values.len()))
+}
+
+/// [`exact_threshold_scratch`] with an explicit thread count. Only the
+/// magnitude fill parallelizes; quickselect itself stays serial (it is O(n)
+/// with a small constant and mutates the buffer it partitions).
+pub fn exact_threshold_with_threads(
+    values: &[f32],
+    k: usize,
+    scratch: &mut SelectScratch,
+    threads: usize,
+) -> f32 {
+    if values.is_empty() || k == 0 {
+        return f32::INFINITY;
+    }
+    let k = k.min(values.len());
+    let SelectScratch { mags, counts, .. } = scratch;
+    mags.clear();
+    // Serial path: skip the chunk-list allocation (see `select_ge_with_threads`).
+    let chunks =
+        if threads <= 1 { Vec::new() } else { okpar::chunk_ranges(values.len(), threads) };
+    if chunks.len() <= 1 {
+        mags.extend(values.iter().map(|v| v.abs()));
+    } else {
+        mags.resize(values.len(), 0.0);
+        counts.clear();
+        counts.extend(chunks.iter().map(|r| r.len()));
+        crossbeam::thread::scope(|s| {
+            let parts = split_by_lens(mags, counts);
+            let mut handles = Vec::with_capacity(chunks.len());
+            for (r, part) in chunks.iter().zip(parts) {
+                let src = &values[r.clone()];
+                handles.push(s.spawn(move || {
+                    for (m, &v) in part.iter_mut().zip(src) {
+                        *m = v.abs();
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("abs worker panicked");
+            }
+        })
+        .expect("scope");
+    }
+    // k-th largest magnitude = element at position (n - k) in ascending order.
+    let pos = mags.len() - k;
+    *quickselect(mags, pos)
+}
+
+/// [`crate::select::topk_exact`] on pooled buffers, auto-parallel.
+pub fn topk_exact_scratch(dense: &[f32], k: usize, scratch: &mut SelectScratch) -> CooGradient {
+    topk_exact_with_threads(dense, k, scratch, auto_threads(dense.len()))
+}
+
+/// [`topk_exact_scratch`] with an explicit thread count.
+pub fn topk_exact_with_threads(
+    dense: &[f32],
+    k: usize,
+    scratch: &mut SelectScratch,
+    threads: usize,
+) -> CooGradient {
+    if k == 0 || dense.is_empty() {
+        return CooGradient::new();
+    }
+    let k = k.min(dense.len());
+    let th = exact_threshold_with_threads(dense, k, scratch, threads);
+    let selected = select_ge_with_threads(dense, th, scratch, threads);
+    if selected.nnz() <= k {
+        return selected;
+    }
+    // The scan overshot k on threshold-magnitude ties; drop the *last* excess
+    // tied entries in place (keep lowest indexes, like `topk_exact`).
+    let excess = selected.nnz() - k;
+    let (mut idx, mut val) = selected.into_parts();
+    let ties = val.iter().filter(|v| v.abs() == th).count();
+    debug_assert!(ties >= excess);
+    let keep_ties = ties - excess;
+    let (mut seen, mut w) = (0usize, 0usize);
+    for r in 0..idx.len() {
+        if val[r].abs() == th {
+            seen += 1;
+            if seen > keep_ties {
+                continue;
+            }
+        }
+        idx[w] = idx[r];
+        val[w] = val[r];
+        w += 1;
+    }
+    debug_assert_eq!(w, k);
+    idx.truncate(w);
+    val.truncate(w);
+    CooGradient::from_sorted(idx, val)
+}
+
+/// [`CooGradient::filter_abs_ge`] writing into pooled buffers.
+pub fn filter_abs_ge_scratch(
+    g: &CooGradient,
+    threshold: f32,
+    scratch: &mut SelectScratch,
+) -> CooGradient {
+    let (mut idx, mut val) = scratch.take_pair();
+    for (i, v) in g.iter() {
+        if v.abs() >= threshold {
+            idx.push(i);
+            val.push(v);
+        }
+    }
+    scratch.note_nnz(idx.len());
+    CooGradient::from_sorted(idx, val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::{exact_threshold, select_ge, topk_exact};
+    use rand::prelude::*;
+
+    fn random_dense(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let v = rng.gen_range(-1.0f32..1.0);
+                if v.abs() < 0.2 {
+                    0.0 // exercise the zero-skip and duplicate-heavy regime
+                } else {
+                    v
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scratch_select_matches_plain_select() {
+        let mut scratch = SelectScratch::new();
+        for n in [0usize, 1, 5, 100, 1000] {
+            let dense = random_dense(n, 42 + n as u64);
+            for th in [0.0f32, 0.3, 0.9, f32::INFINITY] {
+                let got = select_ge_scratch(&dense, th, &mut scratch);
+                let want = select_ge(&dense, th);
+                assert_eq!(got, want, "n={n} th={th}");
+                scratch.recycle(got);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_threshold_matches_plain_threshold() {
+        let mut scratch = SelectScratch::new();
+        for n in [1usize, 2, 17, 333, 2000] {
+            let dense = random_dense(n, 7 + n as u64);
+            for k in [1usize, 2, n / 2 + 1, n, n + 5] {
+                assert_eq!(
+                    exact_threshold_scratch(&dense, k, &mut scratch),
+                    exact_threshold(&dense, k),
+                    "n={n} k={k}"
+                );
+            }
+        }
+        assert_eq!(exact_threshold_scratch(&[], 3, &mut scratch), f32::INFINITY);
+        assert_eq!(exact_threshold_scratch(&[1.0], 0, &mut scratch), f32::INFINITY);
+    }
+
+    #[test]
+    fn scratch_topk_matches_plain_topk() {
+        let mut scratch = SelectScratch::new();
+        for n in [1usize, 8, 100, 999] {
+            let dense = random_dense(n, 1 + n as u64);
+            for k in [1usize, 3, n / 2 + 1, n] {
+                let got = topk_exact_scratch(&dense, k, &mut scratch);
+                let want = topk_exact(&dense, k);
+                assert_eq!(got, want, "n={n} k={k}");
+                scratch.recycle(got);
+            }
+        }
+        // Tie-heavy input exercises the in-place trim.
+        let ties = [0.5f32; 8];
+        let got = topk_exact_scratch(&ties, 3, &mut scratch);
+        assert_eq!(got.indexes(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn parallel_paths_bit_identical_to_serial() {
+        for n in [1usize, 2, 7, 100, 101, 1000, 4097] {
+            let dense = random_dense(n, 90 + n as u64);
+            let mut s1 = SelectScratch::new();
+            let serial = select_ge_with_threads(&dense, 0.3, &mut s1, 1);
+            let th_serial = exact_threshold_with_threads(&dense, n / 3 + 1, &mut s1, 1);
+            for threads in [2usize, 3, 4, 7] {
+                let mut sp = SelectScratch::new();
+                let par = select_ge_with_threads(&dense, 0.3, &mut sp, threads);
+                assert_eq!(par, serial, "n={n} threads={threads}");
+                let th_par =
+                    exact_threshold_with_threads(&dense, n / 3 + 1, &mut sp, threads);
+                assert_eq!(th_par.to_bits(), th_serial.to_bits(), "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn filter_scratch_matches_plain_filter() {
+        let mut scratch = SelectScratch::new();
+        let g = CooGradient::from_unsorted(vec![(0, 0.1), (4, -0.5), (9, 0.3)]);
+        let got = filter_abs_ge_scratch(&g, 0.3, &mut scratch);
+        assert_eq!(got, g.filter_abs_ge(0.3));
+    }
+
+    #[test]
+    fn pool_reuses_capacity_across_iterations() {
+        let mut scratch = SelectScratch::new();
+        let dense = random_dense(5000, 3);
+        // Warm up, then confirm the recycled buffers keep their capacity.
+        let g = select_ge_scratch(&dense, 0.0, &mut scratch);
+        let warm_nnz = g.nnz();
+        scratch.recycle(g);
+        assert!(scratch.nnz_hint() >= warm_nnz);
+        let (idx, val) = scratch.take_pair();
+        assert!(idx.capacity() >= warm_nnz && val.capacity() >= warm_nnz);
+        scratch.recycle_parts(idx, val);
+    }
+}

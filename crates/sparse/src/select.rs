@@ -43,6 +43,10 @@ pub fn exact_threshold_by_sort(values: &[f32], k: usize) -> f32 {
 /// Exact zeros are never selected (even at threshold 0): an explicit zero carries no
 /// information in a sparse gradient, and dense↔COO wire conversions cannot
 /// round-trip it.
+///
+/// Allocates fresh output buffers every call; the steady-state training path uses
+/// [`crate::scratch::select_ge_scratch`], which reuses pooled buffers sized from
+/// the previous iteration's nnz.
 pub fn select_ge(dense: &[f32], threshold: f32) -> CooGradient {
     let mut indexes = Vec::new();
     let mut values = Vec::new();
@@ -162,7 +166,9 @@ pub fn topk_tournament(dense: &[f32], k: usize) -> CooGradient {
 /// Three-way partitioning matters here: gradient-magnitude arrays are dominated by
 /// duplicate values (residual accumulators are ~99% exact zeros), and a binary
 /// Lomuto/Hoare partition degrades to O(n²) on such inputs.
-fn quickselect(data: &mut [f32], pos: usize) -> &f32 {
+///
+/// `pub(crate)` so [`crate::scratch`] can run it over a pooled magnitude buffer.
+pub(crate) fn quickselect(data: &mut [f32], pos: usize) -> &f32 {
     debug_assert!(pos < data.len());
     let (mut lo, mut hi) = (0usize, data.len() - 1);
     loop {

@@ -1,0 +1,168 @@
+//! Parallel/serial parity for the scratch-based selection kernels.
+//!
+//! The chunked two-pass implementations in `sparse::scratch` promise results
+//! *bit-identical* to the serial reference in `sparse::select` for every thread
+//! count. These properties exercise the explicit `*_with_threads` variants (no
+//! size gate) so the parallel code paths run even on small inputs, with thread
+//! counts and lengths deliberately chosen not to divide evenly into chunks.
+
+use proptest::prelude::*;
+use sparse::scratch::{
+    exact_threshold_with_threads, filter_abs_ge_scratch, select_ge_with_threads,
+    topk_exact_with_threads, SelectScratch,
+};
+use sparse::select::{exact_threshold, select_ge, topk_exact};
+use sparse::CooGradient;
+
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+fn bits(values: &[f32]) -> Vec<u32> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Dense vectors with repeated magnitudes (ties), exact zeros and signed
+/// values — the cases where a sloppy parallel merge would diverge first.
+fn dense_vec() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(
+        prop_oneof![
+            -1.0f32..1.0f32,
+            -1.0f32..1.0f32,
+            -1.0f32..1.0f32,
+            Just(0.0f32),
+            (0..8u32).prop_map(|q| q as f32 * 0.125),
+            (0..8u32).prop_map(|q| q as f32 * -0.125),
+        ],
+        0..523,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn select_ge_matches_serial_for_all_thread_counts(
+        dense in dense_vec(),
+        threshold in 0.0f32..0.9,
+    ) {
+        let serial = select_ge(&dense, threshold);
+        for threads in THREADS {
+            let mut scratch = SelectScratch::new();
+            // Run twice per scratch so the warm (pooled-buffer) path is hit too.
+            for round in 0..2 {
+                let got = select_ge_with_threads(&dense, threshold, &mut scratch, threads);
+                prop_assert_eq!(
+                    got.indexes(), serial.indexes(),
+                    "indexes diverged: threads={} round={}", threads, round
+                );
+                prop_assert_eq!(
+                    bits(got.values()), bits(serial.values()),
+                    "values diverged: threads={} round={}", threads, round
+                );
+                scratch.recycle(got);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_threshold_matches_serial_for_all_thread_counts(
+        dense in dense_vec(),
+        k in 0usize..64,
+    ) {
+        let serial = exact_threshold(&dense, k);
+        for threads in THREADS {
+            let mut scratch = SelectScratch::new();
+            let got = exact_threshold_with_threads(&dense, k, &mut scratch, threads);
+            prop_assert_eq!(
+                got.to_bits(), serial.to_bits(),
+                "threads={}: got {} want {}", threads, got, serial
+            );
+        }
+    }
+
+    #[test]
+    fn topk_exact_matches_serial_for_all_thread_counts(
+        dense in dense_vec(),
+        k in 0usize..64,
+    ) {
+        let serial = topk_exact(&dense, k);
+        for threads in THREADS {
+            let mut scratch = SelectScratch::new();
+            let got = topk_exact_with_threads(&dense, k, &mut scratch, threads);
+            prop_assert_eq!(got.indexes(), serial.indexes(), "threads={}", threads);
+            prop_assert_eq!(bits(got.values()), bits(serial.values()), "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn filter_abs_ge_scratch_matches_coo_filter(
+        dense in dense_vec(),
+        threshold in 0.0f32..0.9,
+    ) {
+        // Build a sparse input from the dense draw, then filter both ways.
+        let g = select_ge(&dense, 1e-6);
+        let want = g.filter_abs_ge(threshold);
+        let mut scratch = SelectScratch::new();
+        let got = filter_abs_ge_scratch(&g, threshold, &mut scratch);
+        prop_assert_eq!(got.indexes(), want.indexes());
+        prop_assert_eq!(bits(got.values()), bits(want.values()));
+    }
+}
+
+/// Deterministic sweep over lengths straddling chunk boundaries: `len % threads`
+/// covers 0, 1 and threads−1 so the uneven-chunk split (first `len % threads`
+/// chunks one element longer) is exercised explicitly.
+#[test]
+fn boundary_lengths_are_bit_identical() {
+    let mut scratch = SelectScratch::new();
+    for &threads in &THREADS {
+        for len in [0, 1, 2, 6, 7, 8, 13, 27, 28, 29, 255, 256, 257] {
+            let dense: Vec<f32> = (0..len)
+                .map(|i| ((i as f32 * 0.37).sin() * 100.0).round() / 100.0)
+                .collect();
+            let serial_sel = select_ge(&dense, 0.25);
+            let got_sel = select_ge_with_threads(&dense, 0.25, &mut scratch, threads);
+            assert_eq!(got_sel, serial_sel, "select_ge len={len} threads={threads}");
+            scratch.recycle(got_sel);
+
+            for k in [0, 1, len / 2, len] {
+                let want = exact_threshold(&dense, k);
+                let got = exact_threshold_with_threads(&dense, k, &mut scratch, threads);
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "exact_threshold len={len} k={k} threads={threads}"
+                );
+
+                let want_k = topk_exact(&dense, k);
+                let got_k = topk_exact_with_threads(&dense, k, &mut scratch, threads);
+                assert_eq!(got_k, want_k, "topk_exact len={len} k={k} threads={threads}");
+            }
+        }
+    }
+}
+
+/// A shared scratch carried across heterogeneous calls must never leak state
+/// from one call into the next.
+#[test]
+fn scratch_reuse_across_mixed_calls_is_stateless() {
+    let mut scratch = SelectScratch::new();
+    let a: Vec<f32> = (0..300).map(|i| ((i * 7 % 13) as f32 - 6.0) / 6.0).collect();
+    let b: Vec<f32> = (0..41).map(|i| ((i * 5 % 11) as f32 - 5.0) / 5.0).collect();
+    for _ in 0..3 {
+        for threads in THREADS {
+            assert_eq!(
+                select_ge_with_threads(&a, 0.5, &mut scratch, threads),
+                select_ge(&a, 0.5)
+            );
+            assert_eq!(
+                topk_exact_with_threads(&b, 9, &mut scratch, threads),
+                topk_exact(&b, 9)
+            );
+            let g = CooGradient::from_sorted(vec![2, 5, 9], vec![0.1, -0.9, 0.4]);
+            assert_eq!(
+                filter_abs_ge_scratch(&g, 0.3, &mut scratch),
+                g.filter_abs_ge(0.3)
+            );
+        }
+    }
+}

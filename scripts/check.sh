@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Pre-PR gate: everything a change must pass before review.
+#
+#   ./scripts/check.sh          # build + full test suite + quick hot-path bench
+#
+# The hot-path bench runs in --quick mode (a few seconds) and refreshes
+# BENCH_PR1.json; inspect the per-bench speedups before posting perf claims.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== hot-path bench (quick) =="
+cargo run --release -p okbench --bin hotpath -- --quick
+
+echo "OK: all gates passed"
