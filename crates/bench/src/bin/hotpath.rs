@@ -1,19 +1,32 @@
-//! Hot-path wall-clock benchmark: selection throughput, per-iteration SGD step
-//! time, and end-to-end trainer wall-clock, before/after the scratch-buffer and
-//! chunked-kernel overhaul.
+//! Hot-path wall-clock benchmark: selection throughput, dense-kernel and
+//! dispatch costs across a thread-count sweep, per-iteration SGD step time,
+//! and end-to-end trainer wall-clock.
 //!
-//! Emits `BENCH_PR1.json` (in the working directory — repo root under
-//! `cargo run`) with per-bench baseline/optimized nanoseconds and speedups.
+//! Emits `BENCH_PR2.json` (in the working directory — repo root under
+//! `cargo run`) with per-bench baseline/optimized nanoseconds, speedups, and a
+//! per-thread-count sweep so numbers are comparable across machines:
 //!
 //! - *baseline* for the selection benches is the allocating `sparse::select`
 //!   path (fresh `Vec`s every call), exactly what the hot loop did before the
 //!   scratch subsystem.
-//! - *parallel* benches compare `threads = 1` against `OKTOPK_THREADS` (default:
-//!   all cores) through the same `*_with_threads` kernels. On a single-core
-//!   host these report ≈1× — the JSON records `host_threads` so readers can
-//!   tell an absent speedup from an impossible one.
+//! - the `*_serial_vs_parallel` headline rows compare explicit `threads = 1`
+//!   against the **auto-dispatch path at the default thread count** — what a
+//!   caller actually gets. When the adaptive granularity policy picks one
+//!   thread (e.g. on a single-core host), the row is flagged
+//!   `serial_fallback: true`: parallel == serial *by design*, not a
+//!   regression. The accompanying `sweep` arrays record explicit
+//!   1/2/4/`available_parallelism` timings regardless.
+//! - `dispatch_spawn_vs_pool` isolates the tentpole change: the same chunked
+//!   kernel at 2 threads dispatched by spawning scoped threads per call (the
+//!   PR 1 mechanism) vs through the persistent okpar worker pool.
 //!
-//! Usage: `cargo run --release -p okbench --bin hotpath [-- --quick] [--out PATH]`
+//! The pool is prewarmed before any timing so no measurement pays one-time
+//! thread creation.
+//!
+//! Usage: `cargo run --release -p okbench --bin hotpath [-- --quick] [--gate]
+//! [--out PATH]`. `--gate` exits non-zero if a headline speedup at the default
+//! thread count falls below 0.98 (2% noise floor) without the serial-fallback
+//! flag — the pre-PR regression gate run by `scripts/check.sh`.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -23,7 +36,7 @@ use oktopk::{OkTopkConfig, OkTopkSgd};
 use simnet::{Cluster, CostModel};
 use sparse::scratch::{
     exact_threshold_scratch, exact_threshold_with_threads, select_ge_scratch,
-    select_ge_with_threads, SelectScratch,
+    select_ge_with_threads, SelectScratch, SCAN_GRAIN,
 };
 use sparse::select::{exact_threshold, select_ge};
 
@@ -31,6 +44,11 @@ struct BenchResult {
     name: &'static str,
     baseline_ns: Option<f64>,
     optimized_ns: Option<f64>,
+    /// True when the optimized path deliberately ran serial (adaptive
+    /// granularity chose 1 thread), so speedup ≈ 1.0 is by design.
+    serial_fallback: bool,
+    /// Explicit-thread-count sweep: (threads, ns per rep).
+    sweep: Vec<(usize, f64)>,
     note: String,
 }
 
@@ -88,60 +106,143 @@ fn bench_selection_scratch(n: usize, k: usize, reps: usize, trials: usize) -> Be
         name: "selection_alloc_vs_scratch",
         baseline_ns: Some(baseline),
         optimized_ns: Some(optimized),
+        serial_fallback: false,
+        sweep: Vec::new(),
         note: format!("n={n} k={k}; exact_threshold + select_ge per rep"),
     }
 }
 
-/// Selection: serial vs parallel through the same scratch kernels.
+/// Selection: serial vs the auto-dispatch path at the default thread count,
+/// plus an explicit thread sweep through the same pool-backed kernels.
 fn bench_selection_parallel(
     n: usize,
     k: usize,
     reps: usize,
     trials: usize,
-    par: usize,
+    sweep_threads: &[usize],
 ) -> BenchResult {
     let dense = pseudo_dense(n, 2);
     let mut scratch = SelectScratch::new();
-    let serial = time_ns(reps, trials, || {
-        let th = exact_threshold_with_threads(black_box(&dense), k, &mut scratch, 1);
-        let g = select_ge_with_threads(&dense, th, &mut scratch, 1);
-        black_box(g.nnz());
-        scratch.recycle(g);
-    });
-    let parallel = time_ns(reps, trials, || {
-        let th = exact_threshold_with_threads(black_box(&dense), k, &mut scratch, par);
-        let g = select_ge_with_threads(&dense, th, &mut scratch, par);
+    let mut at = |threads: usize| {
+        time_ns(reps, trials, || {
+            let th = exact_threshold_with_threads(black_box(&dense), k, &mut scratch, threads);
+            let g = select_ge_with_threads(&dense, th, &mut scratch, threads);
+            black_box(g.nnz());
+            scratch.recycle(g);
+        })
+    };
+    let sweep: Vec<(usize, f64)> = sweep_threads.iter().map(|&t| (t, at(t))).collect();
+    let serial = sweep.iter().find(|(t, _)| *t == 1).map(|&(_, ns)| ns).unwrap_or_else(|| at(1));
+    // The path callers actually hit: adaptive granularity at the default count.
+    let auto_threads = okpar::threads_for(n, SCAN_GRAIN);
+    let mut scratch = SelectScratch::new();
+    let optimized = time_ns(reps, trials, || {
+        let th = exact_threshold_scratch(black_box(&dense), k, &mut scratch);
+        let g = select_ge_scratch(&dense, th, &mut scratch);
         black_box(g.nnz());
         scratch.recycle(g);
     });
     BenchResult {
         name: "selection_serial_vs_parallel",
         baseline_ns: Some(serial),
-        optimized_ns: Some(parallel),
-        note: format!("n={n} k={k}; threads 1 vs {par}"),
+        optimized_ns: Some(optimized),
+        serial_fallback: auto_threads <= 1,
+        sweep,
+        note: format!("n={n} k={k}; threads 1 vs auto ({auto_threads})"),
     }
 }
 
-/// Dense forward kernel: serial vs parallel `matmul_acc`.
-fn bench_matmul_parallel(dim: usize, reps: usize, trials: usize, par: usize) -> BenchResult {
+/// Dense forward kernel: serial vs auto-dispatch `matmul_acc`, plus sweep.
+fn bench_matmul_parallel(
+    dim: usize,
+    reps: usize,
+    trials: usize,
+    sweep_threads: &[usize],
+) -> BenchResult {
     let x = pseudo_dense(dim * dim, 3);
     let w = pseudo_dense(dim * dim, 4);
     let mut out = vec![0.0f32; dim * dim];
-    let serial = time_ns(reps, trials, || {
+    let mut at = |threads: usize| {
+        time_ns(reps, trials, || {
+            out.iter_mut().for_each(|o| *o = 0.0);
+            matmul_acc_with_threads(black_box(&x), &w, &mut out, dim, dim, dim, threads);
+            black_box(out[0]);
+        })
+    };
+    let sweep: Vec<(usize, f64)> = sweep_threads.iter().map(|&t| (t, at(t))).collect();
+    let serial = sweep.iter().find(|(t, _)| *t == 1).map(|&(_, ns)| ns).unwrap_or_else(|| at(1));
+    let auto_threads = okpar::threads_for(dim * dim * dim, dnn::ops::MATMUL_GRAIN_FLOPS);
+    let optimized = time_ns(reps, trials, || {
         out.iter_mut().for_each(|o| *o = 0.0);
-        matmul_acc_with_threads(black_box(&x), &w, &mut out, dim, dim, dim, 1);
-        black_box(out[0]);
-    });
-    let parallel = time_ns(reps, trials, || {
-        out.iter_mut().for_each(|o| *o = 0.0);
-        matmul_acc_with_threads(black_box(&x), &w, &mut out, dim, dim, dim, par);
+        dnn::ops::matmul_acc(black_box(&x), &w, &mut out, dim, dim, dim);
         black_box(out[0]);
     });
     BenchResult {
         name: "matmul_serial_vs_parallel",
         baseline_ns: Some(serial),
-        optimized_ns: Some(parallel),
-        note: format!("{dim}x{dim}x{dim} matmul_acc; threads 1 vs {par}"),
+        optimized_ns: Some(optimized),
+        serial_fallback: auto_threads <= 1,
+        sweep,
+        note: format!("{dim}x{dim}x{dim} matmul_acc; threads 1 vs auto ({auto_threads})"),
+    }
+}
+
+/// The PR 1 dispatch mechanism, preserved here as the baseline: spawn scoped
+/// threads per call over the same chunk partition the pool kernels use.
+fn spawn_matmul_acc(x: &[f32], w: &[f32], out: &mut [f32], dim: usize, threads: usize) {
+    let chunks: Vec<std::ops::Range<usize>> = okpar::chunk_ranges(dim, threads);
+    std::thread::scope(|s| {
+        let mut rest = &mut *out;
+        for r in &chunks {
+            let (head, tail) = rest.split_at_mut(r.len() * dim);
+            rest = tail;
+            let xp = &x[r.start * dim..r.end * dim];
+            s.spawn(move || {
+                for b in 0..r.len() {
+                    let xb = &xp[b * dim..(b + 1) * dim];
+                    let ob = &mut head[b * dim..(b + 1) * dim];
+                    for (i, &xv) in xb.iter().enumerate() {
+                        if xv == 0.0 {
+                            continue;
+                        }
+                        for (o, &wv) in ob.iter_mut().zip(&w[i * dim..(i + 1) * dim]) {
+                            *o += xv * wv;
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Dispatch cost head-to-head at a fixed 2 threads: spawn-per-call (PR 1)
+/// vs the persistent pool, on a kernel small enough that dispatch overhead
+/// is a visible fraction of the runtime.
+fn bench_dispatch_spawn_vs_pool(dim: usize, reps: usize, trials: usize) -> BenchResult {
+    const THREADS: usize = 2;
+    let x = pseudo_dense(dim * dim, 5);
+    let w = pseudo_dense(dim * dim, 6);
+    let mut out = vec![0.0f32; dim * dim];
+    let spawn = time_ns(reps, trials, || {
+        out.iter_mut().for_each(|o| *o = 0.0);
+        spawn_matmul_acc(black_box(&x), &w, &mut out, dim, THREADS);
+        black_box(out[0]);
+    });
+    let pool = time_ns(reps, trials, || {
+        out.iter_mut().for_each(|o| *o = 0.0);
+        matmul_acc_with_threads(black_box(&x), &w, &mut out, dim, dim, dim, THREADS);
+        black_box(out[0]);
+    });
+    BenchResult {
+        name: "dispatch_spawn_vs_pool",
+        baseline_ns: Some(spawn),
+        optimized_ns: Some(pool),
+        serial_fallback: false,
+        sweep: Vec::new(),
+        note: format!(
+            "{dim}x{dim}x{dim} matmul_acc at {THREADS} threads; scoped spawn per call vs \
+             persistent pool"
+        ),
     }
 }
 
@@ -165,6 +266,8 @@ fn bench_sgd_step(p: usize, n: usize, k: usize, iters: usize) -> BenchResult {
         name: "sgd_step",
         baseline_ns: None,
         optimized_ns: Some(per_iter),
+        serial_fallback: false,
+        sweep: Vec::new(),
         note: format!("p={p} n={n} k={k}; wall-clock per collective step, {iters} iters"),
     }
 }
@@ -194,6 +297,8 @@ fn bench_e2e_trainer(p: usize, n: usize, k: usize, iters: usize) -> BenchResult 
         name: "e2e_trainer",
         baseline_ns: None,
         optimized_ns: Some(total),
+        serial_fallback: false,
+        sweep: Vec::new(),
         note: format!("p={p} n={n} k={k} iters={iters}; total wall-clock ns"),
     }
 }
@@ -205,19 +310,27 @@ fn json_f64(v: Option<f64>) -> String {
     }
 }
 
-fn write_json(path: &str, quick: bool, par: usize, results: &[BenchResult]) {
+fn write_json(
+    path: &str,
+    quick: bool,
+    default_threads: usize,
+    sweep_threads: &[usize],
+    results: &[BenchResult],
+) {
     let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let threads_env = std::env::var("OKTOPK_THREADS").ok();
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"hotpath\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
-    out.push_str(&format!("  \"host_threads\": {host_threads},\n"));
+    out.push_str(&format!("  \"available_parallelism\": {host_threads},\n"));
     out.push_str(&format!(
         "  \"oktopk_threads_env\": {},\n",
         threads_env.map_or("null".to_string(), |v| format!("\"{v}\""))
     ));
-    out.push_str(&format!("  \"parallel_threads\": {par},\n"));
+    out.push_str(&format!("  \"default_threads\": {default_threads},\n"));
+    let sweep_list: Vec<String> = sweep_threads.iter().map(|t| t.to_string()).collect();
+    out.push_str(&format!("  \"thread_sweep\": [{}],\n", sweep_list.join(", ")));
     out.push_str("  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str("    {\n");
@@ -229,6 +342,20 @@ fn write_json(path: &str, quick: bool, par: usize, results: &[BenchResult]) {
             _ => "null".to_string(),
         };
         out.push_str(&format!("      \"speedup\": {speedup},\n"));
+        out.push_str(&format!("      \"serial_fallback\": {},\n", r.serial_fallback));
+        if r.sweep.is_empty() {
+            out.push_str("      \"sweep\": [],\n");
+        } else {
+            out.push_str("      \"sweep\": [\n");
+            for (j, (t, ns)) in r.sweep.iter().enumerate() {
+                let sep = if j + 1 < r.sweep.len() { "," } else { "" };
+                out.push_str(&format!(
+                    "        {{ \"threads\": {t}, \"ns\": {} }}{sep}\n",
+                    json_f64(Some(*ns))
+                ));
+            }
+            out.push_str("      ],\n");
+        }
         out.push_str(&format!("      \"note\": \"{}\"\n", r.note));
         out.push_str(if i + 1 < results.len() { "    },\n" } else { "    }\n" });
     }
@@ -236,29 +363,73 @@ fn write_json(path: &str, quick: bool, par: usize, results: &[BenchResult]) {
     std::fs::write(path, out).expect("write bench json");
 }
 
+/// Regression gate over the headline serial-vs-parallel rows: at the default
+/// thread count the auto-dispatch path must not lose to serial. A 2% noise
+/// floor avoids flaking on timer jitter; rows flagged `serial_fallback`
+/// (parallel == serial by design, e.g. single-core hosts) always pass.
+fn gate(results: &[BenchResult]) -> Result<(), String> {
+    const NOISE_FLOOR: f64 = 0.98;
+    let mut failures = Vec::new();
+    for r in results {
+        if !r.name.ends_with("_serial_vs_parallel") {
+            continue;
+        }
+        if r.serial_fallback {
+            continue;
+        }
+        match r.speedup() {
+            Some(s) if s < NOISE_FLOOR => failures.push(format!(
+                "{}: speedup {s:.3} < {NOISE_FLOOR} at default threads (not a serial fallback)",
+                r.name
+            )),
+            _ => {}
+        }
+    }
+    if failures.is_empty() { Ok(()) } else { Err(failures.join("; ")) }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let run_gate = args.iter().any(|a| a == "--gate");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
-        .unwrap_or("BENCH_PR1.json")
+        .unwrap_or("BENCH_PR2.json")
         .to_string();
 
-    let par = okpar::configured_threads().max(2);
+    let default_threads = okpar::configured_threads();
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // Sweep 1/2/4/available_parallelism (plus the default count), deduped.
+    let mut sweep_threads = vec![1usize, 2, 4, host_threads, default_threads];
+    sweep_threads.sort_unstable();
+    sweep_threads.dedup();
+
     let (n, k, reps, trials) =
         if quick { (1 << 15, 1 << 9, 5, 3) } else { (1 << 18, 1 << 12, 10, 5) };
+    // The matmul/dispatch kernels are ~2 orders of magnitude shorter than a
+    // selection pass; give them proportionally more reps per trial so the
+    // median is not dominated by scheduler noise.
+    let (mm_reps, mm_trials) = if quick { (20, 5) } else { (100, 9) };
     let mm_dim = if quick { 48 } else { 128 };
+    let disp_dim = if quick { 48 } else { 64 };
     let (sgd_n, sgd_iters) = if quick { (1 << 12, 30) } else { (1 << 14, 100) };
     let e2e_iters = if quick { 60 } else { 300 };
 
-    eprintln!("hotpath: n={n} k={k} parallel_threads={par} quick={quick}");
+    // No timed region pays one-time worker creation or queue growth.
+    okpar::prewarm(*sweep_threads.last().unwrap());
+
+    eprintln!(
+        "hotpath: n={n} k={k} default_threads={default_threads} host_threads={host_threads} \
+         sweep={sweep_threads:?} quick={quick}"
+    );
     let results = vec![
         bench_selection_scratch(n, k, reps, trials),
-        bench_selection_parallel(n, k, reps, trials, par),
-        bench_matmul_parallel(mm_dim, reps, trials, par),
+        bench_selection_parallel(n, k, reps, trials, &sweep_threads),
+        bench_matmul_parallel(mm_dim, mm_reps, mm_trials, &sweep_threads),
+        bench_dispatch_spawn_vs_pool(disp_dim, mm_reps, mm_trials),
         bench_sgd_step(4, sgd_n, sgd_n / 64, sgd_iters),
         bench_e2e_trainer(4, 4096, 256, e2e_iters),
     ];
@@ -268,14 +439,29 @@ fn main() {
             .speedup()
             .map(|s| format!("{s:.2}x"))
             .unwrap_or_else(|| "—".to_string());
+        let fb = if r.serial_fallback { " [serial fallback]" } else { "" };
         eprintln!(
-            "  {:<28} baseline {:>12} ns  optimized {:>12} ns  speedup {}",
+            "  {:<28} baseline {:>12} ns  optimized {:>12} ns  speedup {}{}",
             r.name,
             json_f64(r.baseline_ns),
             json_f64(r.optimized_ns),
-            speedup
+            speedup,
+            fb
         );
+        for (t, ns) in &r.sweep {
+            eprintln!("      threads={t:<3} {:>12} ns", json_f64(Some(*ns)));
+        }
     }
-    write_json(&out_path, quick, par, &results);
+    write_json(&out_path, quick, default_threads, &sweep_threads, &results);
     eprintln!("wrote {out_path}");
+
+    if run_gate {
+        match gate(&results) {
+            Ok(()) => eprintln!("gate: OK (serial-vs-parallel speedups at default threads)"),
+            Err(msg) => {
+                eprintln!("gate: FAIL — {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

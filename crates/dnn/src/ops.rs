@@ -5,43 +5,29 @@
 //! reproduction are small enough that no blocking is needed.
 //!
 //! The three matmul kernels carry the forward/backward flops and are
-//! data-parallel: the public entry points dispatch to chunked workers
-//! (`crossbeam::thread::scope` over [`okpar::chunk_ranges`] partitions of the
-//! *output* space) when [`okpar::configured_threads`] > 1 — the `OKTOPK_THREADS`
-//! knob — and the problem clears [`PAR_MIN_FLOPS`]. Because each worker owns a
-//! disjoint slice of the output and walks it in the same order as the serial
-//! loop, every output element sees the identical sequence of f32 operations:
-//! the result is bit-identical to the serial kernel for any thread count
-//! (asserted by the `kernel_parity` proptest suite). The `*_with_threads`
+//! data-parallel: the public entry points dispatch chunked workers through the
+//! persistent `okpar` pool ([`okpar::run_chunks`] over partitions of the
+//! *output* space) — no threads are spawned per call. The thread count adapts
+//! to the problem: one worker per [`MATMUL_GRAIN_FLOPS`] multiply-accumulates,
+//! capped at [`okpar::configured_threads`] (the `OKTOPK_THREADS` knob), so
+//! small matmuls stay serial with zero dispatch overhead. Because each worker
+//! owns a disjoint slice of the output and walks it in the same order as the
+//! serial loop, every output element sees the identical sequence of f32
+//! operations: the result is bit-identical to the serial kernel for any thread
+//! count (asserted by the `kernel_parity` proptest suite). The `*_with_threads`
 //! variants take the thread count explicitly (no size gate) for tests and
 //! benches, which must not race on the process-global knob.
 
-/// Multiply-accumulate count below which the matmul dispatchers stay serial;
-/// thread handoff costs more than the arithmetic under this.
-pub const PAR_MIN_FLOPS: usize = 1 << 15;
+use okpar::SendPtr;
+
+/// Multiply-accumulate count per worker chunk — the matmul granularity cutoff.
+/// One worker per this many MACs (so problems under twice this stay serial);
+/// calibrated so a chunk's arithmetic (tens of µs) dwarfs the ~1µs pool
+/// dispatch.
+pub const MATMUL_GRAIN_FLOPS: usize = 1 << 15;
 
 fn matmul_threads(rows: usize, inner: usize, cols: usize) -> usize {
-    if rows * inner * cols < PAR_MIN_FLOPS {
-        1
-    } else {
-        okpar::configured_threads()
-    }
-}
-
-/// Split a mutable slice into consecutive row-chunks of `rows_of[i] * width`.
-fn split_rows<'a>(
-    mut s: &'a mut [f32],
-    ranges: &[std::ops::Range<usize>],
-    width: usize,
-) -> Vec<&'a mut [f32]> {
-    let mut out = Vec::with_capacity(ranges.len());
-    for r in ranges {
-        let (head, tail) = std::mem::take(&mut s).split_at_mut(r.len() * width);
-        out.push(head);
-        s = tail;
-    }
-    debug_assert!(s.is_empty());
-    out
+    okpar::threads_for(rows.saturating_mul(inner).saturating_mul(cols), MATMUL_GRAIN_FLOPS)
 }
 
 /// `out[b, j] += Σᵢ x[b, i] · w[i, j]` — x: `[rows, inner]`, w: `[inner, cols]`.
@@ -62,22 +48,15 @@ pub fn matmul_acc_with_threads(
     debug_assert_eq!(x.len(), rows * inner);
     debug_assert_eq!(w.len(), inner * cols);
     debug_assert_eq!(out.len(), rows * cols);
-    let ranges = okpar::chunk_ranges(rows, threads);
-    if ranges.len() <= 1 {
+    if okpar::chunk_count(rows, threads) <= 1 {
         return matmul_acc_rows(x, w, out, rows, inner, cols);
     }
-    crossbeam::thread::scope(|s| {
-        let out_parts = split_rows(out, &ranges, cols);
-        let mut handles = Vec::with_capacity(ranges.len());
-        for (r, op) in ranges.iter().zip(out_parts) {
-            let xp = &x[r.start * inner..r.end * inner];
-            handles.push(s.spawn(move || matmul_acc_rows(xp, w, op, r.len(), inner, cols)));
-        }
-        for h in handles {
-            h.join().expect("matmul worker panicked");
-        }
-    })
-    .expect("scope");
+    let out_ptr = SendPtr::new(out.as_mut_ptr());
+    okpar::run_chunks(rows, threads, |_, r| {
+        // Safety: chunk row-ranges are disjoint, so the output row blocks are.
+        let op = unsafe { out_ptr.slice_mut(r.start * cols, r.len() * cols) };
+        matmul_acc_rows(&x[r.start * inner..r.end * inner], w, op, r.len(), inner, cols);
+    });
 }
 
 /// Serial row-range worker for [`matmul_acc`].
@@ -116,22 +95,15 @@ pub fn matmul_acc_wt_with_threads(
     debug_assert_eq!(dy.len(), rows * cols);
     debug_assert_eq!(w.len(), inner * cols);
     debug_assert_eq!(out.len(), rows * inner);
-    let ranges = okpar::chunk_ranges(rows, threads);
-    if ranges.len() <= 1 {
+    if okpar::chunk_count(rows, threads) <= 1 {
         return matmul_acc_wt_rows(dy, w, out, rows, inner, cols);
     }
-    crossbeam::thread::scope(|s| {
-        let out_parts = split_rows(out, &ranges, inner);
-        let mut handles = Vec::with_capacity(ranges.len());
-        for (r, op) in ranges.iter().zip(out_parts) {
-            let dyp = &dy[r.start * cols..r.end * cols];
-            handles.push(s.spawn(move || matmul_acc_wt_rows(dyp, w, op, r.len(), inner, cols)));
-        }
-        for h in handles {
-            h.join().expect("matmul_wt worker panicked");
-        }
-    })
-    .expect("scope");
+    let out_ptr = SendPtr::new(out.as_mut_ptr());
+    okpar::run_chunks(rows, threads, |_, r| {
+        // Safety: chunk row-ranges are disjoint, so the output row blocks are.
+        let op = unsafe { out_ptr.slice_mut(r.start * inner, r.len() * inner) };
+        matmul_acc_wt_rows(&dy[r.start * cols..r.end * cols], w, op, r.len(), inner, cols);
+    });
 }
 
 /// Serial row-range worker for [`matmul_acc_wt`].
@@ -173,22 +145,15 @@ pub fn matmul_acc_xt_with_threads(
     debug_assert_eq!(x.len(), rows * inner);
     debug_assert_eq!(dy.len(), rows * cols);
     debug_assert_eq!(dw.len(), inner * cols);
-    let ranges = okpar::chunk_ranges(inner, threads);
-    if ranges.len() <= 1 {
+    if okpar::chunk_count(inner, threads) <= 1 {
         return matmul_acc_xt_inner(x, dy, dw, rows, inner, cols, 0..inner);
     }
-    crossbeam::thread::scope(|s| {
-        let dw_parts = split_rows(dw, &ranges, cols);
-        let mut handles = Vec::with_capacity(ranges.len());
-        for (r, dwp) in ranges.iter().zip(dw_parts) {
-            let r = r.clone();
-            handles.push(s.spawn(move || matmul_acc_xt_inner(x, dy, dwp, rows, inner, cols, r)));
-        }
-        for h in handles {
-            h.join().expect("matmul_xt worker panicked");
-        }
-    })
-    .expect("scope");
+    let dw_ptr = SendPtr::new(dw.as_mut_ptr());
+    okpar::run_chunks(inner, threads, |_, r| {
+        // Safety: chunk inner-ranges are disjoint, so the dw row blocks are.
+        let dwp = unsafe { dw_ptr.slice_mut(r.start * cols, r.len() * cols) };
+        matmul_acc_xt_inner(x, dy, dwp, rows, inner, cols, r);
+    });
 }
 
 /// Serial worker for [`matmul_acc_xt`] restricted to inner indexes `i_range`;

@@ -4,14 +4,16 @@
 //! dimension) into disjoint blocks and keep the serial per-element accumulation
 //! order inside each block, so results must be *bit-identical* to the serial
 //! kernel for every thread count — including thread counts that do not divide
-//! the partitioned dimension.
+//! the partitioned dimension and counts (8, 17) oversubscribed beyond any
+//! plausible core count. Every parallel call goes through the persistent
+//! okpar worker pool.
 
 use dnn::ops::{
     matmul_acc_with_threads, matmul_acc_wt_with_threads, matmul_acc_xt_with_threads,
 };
 use proptest::prelude::*;
 
-const THREADS: [usize; 4] = [1, 2, 4, 7];
+const THREADS: [usize; 6] = [1, 2, 4, 7, 8, 17];
 
 fn bits(values: &[f32]) -> Vec<u32> {
     values.iter().map(|v| v.to_bits()).collect()

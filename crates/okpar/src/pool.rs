@@ -1,0 +1,319 @@
+//! Persistent worker pool: parked OS threads executing chunk jobs.
+//!
+//! PR 1's kernels spawned fresh `crossbeam::thread::scope` threads on every
+//! invocation; thread creation (~tens of µs each) swamped the ~100µs–2ms
+//! kernels and made "parallel" a net regression. This pool replaces the spawn
+//! with a push: workers are created lazily on the first multi-chunk dispatch,
+//! then park on a condvar and are reused for the life of the process. A
+//! dispatch enqueues one [`Job`] per chunk into a shared FIFO, wakes workers,
+//! runs chunk 0 on the caller, help-drains the queue while its own chunks are
+//! in flight, and returns once a per-dispatch latch confirms every chunk ran.
+//!
+//! Concurrency contract: any number of OS threads may dispatch at once
+//! (`simnet` runs one thread per simulated rank, and several ranks hit the
+//! kernels simultaneously). Jobs from different dispatches interleave freely in
+//! the queue; each dispatch completes when *its* latch drains. Help-draining
+//! makes the pool deadlock-free by construction — a waiting caller executes
+//! whatever work is queued, so queued work can always make progress even if
+//! every worker is busy — and makes oversubscribed thread counts
+//! (`OKTOPK_THREADS` beyond the core count) cheap: the caller ends up running
+//! most chunks itself, in queue order, without context switches.
+//!
+//! Safety: a job holds raw pointers to the dispatch closure and latch, both of
+//! which live on the caller's stack. The caller never returns (or unwinds —
+//! its own chunk runs under `catch_unwind`) before the latch reports all its
+//! jobs finished, and a worker never touches a job's pointers after
+//! decrementing that job's latch, so the pointers cannot dangle. Worker
+//! panics are caught, recorded on the latch, and re-thrown on the caller.
+//!
+//! Steady-state cost: one mutex push per chunk plus a condvar wake. The queue
+//! (a `VecDeque` retained for the process lifetime) allocates only while
+//! growing, so after warm-up ([`prewarm`]) dispatch performs zero heap
+//! allocations on the caller thread — the parallel path keeps the same
+//! steady-state zero-allocation discipline as the serial selection path.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// One chunk of one dispatch. Pointers into the dispatching caller's stack;
+/// valid until that caller's latch drains (see module docs).
+struct Job {
+    run: *const (dyn Fn(usize) + Sync),
+    latch: *const Latch,
+    index: usize,
+}
+
+// The pointees are `Sync` (closure) and internally synchronized (latch), and
+// the module-level liveness argument covers lifetime; the raw pointers alone
+// are what inhibits the auto trait.
+unsafe impl Send for Job {}
+
+/// Completion latch for one dispatch: counts outstanding jobs, records worker
+/// panics. Decrement and notify happen under the same mutex the waiter checks
+/// under, so the waiter cannot observe zero and free the latch while a worker
+/// still holds it.
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panicked: bool,
+}
+
+impl Latch {
+    fn new(remaining: usize) -> Self {
+        Self { state: Mutex::new(LatchState { remaining, panicked: false }), done: Condvar::new() }
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.lock().expect("okpar latch poisoned").remaining == 0
+    }
+
+    /// Block until every job has run; returns whether any of them panicked.
+    fn wait(&self) -> bool {
+        let mut st = self.state.lock().expect("okpar latch poisoned");
+        while st.remaining > 0 {
+            st = self.done.wait(st).expect("okpar latch poisoned");
+        }
+        st.panicked
+    }
+}
+
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    work_ready: Condvar,
+    /// Number of worker threads spawned so far; grows on demand, never shrinks.
+    spawned: Mutex<usize>,
+}
+
+static POOL: OnceLock<&'static Pool> = OnceLock::new();
+
+fn global() -> &'static Pool {
+    POOL.get_or_init(|| {
+        Box::leak(Box::new(Pool {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            spawned: Mutex::new(0),
+        }))
+    })
+}
+
+/// Grow the pool to at least `n` workers (capped at [`crate::MAX_THREADS`] − 1;
+/// the caller thread is the final "worker").
+fn ensure_workers(pool: &'static Pool, n: usize) {
+    let n = n.min(crate::MAX_THREADS - 1);
+    let mut spawned = pool.spawned.lock().expect("okpar pool poisoned");
+    while *spawned < n {
+        let id = *spawned;
+        std::thread::Builder::new()
+            .name(format!("okpar-worker-{id}"))
+            .spawn(move || worker_main(pool))
+            .expect("okpar: failed to spawn pool worker");
+        *spawned += 1;
+    }
+}
+
+/// Grow the pool only if it has already been built — [`crate::set_threads`]'s
+/// resize hook. Before first use there is nothing to resize; the pool will be
+/// created at the right size lazily.
+pub(crate) fn resize_if_built(n: usize) {
+    if let Some(pool) = POOL.get() {
+        ensure_workers(pool, n);
+    }
+}
+
+/// Number of pool workers currently alive (0 before first parallel dispatch).
+pub fn pool_workers() -> usize {
+    POOL.get().map_or(0, |p| *p.spawned.lock().expect("okpar pool poisoned"))
+}
+
+/// Spawn workers and fault in queue capacity for dispatches up to `threads`
+/// chunks wide, so the first timed kernel doesn't pay thread creation and the
+/// steady-state dispatch path performs no allocation on the caller thread.
+pub fn prewarm(threads: usize) {
+    if threads <= 1 {
+        return;
+    }
+    // One real dispatch per width grows the VecDeque to its high-water mark.
+    run_tasks(threads.min(crate::MAX_THREADS), &|_| {});
+}
+
+fn execute(job: Job) {
+    // Safety: the dispatching caller keeps `run` and `latch` alive until the
+    // latch drains; we decrement only after the closure returns.
+    let run = unsafe { &*job.run };
+    let panicked = catch_unwind(AssertUnwindSafe(|| run(job.index))).is_err();
+    let latch = unsafe { &*job.latch };
+    let mut st = latch.state.lock().expect("okpar latch poisoned");
+    st.remaining -= 1;
+    st.panicked |= panicked;
+    if st.remaining == 0 {
+        latch.done.notify_all();
+    }
+    // The mutex guard drops here; the latch is never touched again.
+}
+
+fn worker_main(pool: &'static Pool) {
+    loop {
+        let job = {
+            let mut q = pool.queue.lock().expect("okpar pool poisoned");
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                q = pool.work_ready.wait(q).expect("okpar pool poisoned");
+            }
+        };
+        execute(job);
+    }
+}
+
+/// Run `f(0)`, `f(1)`, …, `f(tasks - 1)` across the pool, returning when all
+/// have finished. `f(0)` always runs on the caller; the rest are executed by
+/// pool workers and/or by the caller help-draining while it waits. Tasks of a
+/// single dispatch may run concurrently and in any order — callers needing the
+/// deterministic chunk-merge contract must make tasks write disjoint outputs
+/// positioned by task index (see [`crate::run_chunks`]).
+///
+/// A panic in any task propagates to the caller, after all tasks finished.
+pub fn run_tasks(tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+    match tasks {
+        0 => return,
+        1 => return f(0),
+        _ => {}
+    }
+    crate::warn_if_env_drifted();
+    let pool = global();
+    ensure_workers(pool, tasks - 1);
+    let latch = Latch::new(tasks - 1);
+    // Erase the closure's stack lifetime; the latch protocol (module docs)
+    // guarantees no worker dereferences it after this function returns.
+    let run: *const (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(f) };
+    {
+        let mut q = pool.queue.lock().expect("okpar pool poisoned");
+        for index in 1..tasks {
+            q.push_back(Job { run, latch: &latch, index });
+        }
+    }
+    // Wake at most one parked worker per queued job: `notify_all` would stampede
+    // every parked worker on every dispatch once the pool has grown. A "lost"
+    // wakeup (fewer waiters than jobs) is safe — busy workers re-poll the queue
+    // when they finish, and the caller help-drains below.
+    for _ in 1..tasks {
+        pool.work_ready.notify_one();
+    }
+    // The caller's own chunk. Defer a panic until the workers are done with
+    // our stack — unwinding past a live latch would dangle their pointers.
+    let mine = catch_unwind(AssertUnwindSafe(|| f(0)));
+    // Help-drain: execute queued jobs (ours or another dispatch's) while our
+    // latch is open, then park on it.
+    let worker_panicked = loop {
+        if latch.is_done() {
+            break latch.wait(); // immediate: reads the panicked flag
+        }
+        let job = pool.queue.lock().expect("okpar pool poisoned").pop_front();
+        match job {
+            Some(job) => execute(job),
+            None => break latch.wait(),
+        }
+    };
+    match mine {
+        Err(payload) => resume_unwind(payload),
+        Ok(()) if worker_panicked => panic!("okpar: a pool worker panicked in a parallel kernel"),
+        Ok(()) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_tasks_run_exactly_once() {
+        for tasks in [0usize, 1, 2, 3, 8, 33] {
+            let hits: Vec<AtomicUsize> = (0..tasks).map(|_| AtomicUsize::new(0)).collect();
+            run_tasks(tasks, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "tasks={tasks}");
+        }
+    }
+
+    #[test]
+    fn workers_persist_and_grow_on_demand() {
+        run_tasks(3, &|_| {});
+        let after_first = pool_workers();
+        assert!(after_first >= 2, "pool should have spawned >= 2 workers");
+        run_tasks(2, &|_| {});
+        assert!(pool_workers() >= after_first, "pool must not shrink");
+        crate::set_threads(6);
+        assert!(pool_workers() >= 5, "set_threads must resize the live pool");
+        crate::set_threads(0);
+    }
+
+    #[test]
+    fn concurrent_dispatches_from_many_threads() {
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for caller in 0..8 {
+                let total = &total;
+                s.spawn(move || {
+                    for round in 0..50 {
+                        let tasks = 2 + (caller + round) % 7;
+                        run_tasks(tasks, &|_| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        let expect: usize = (0..8).map(|c| (0..50).map(|r| 2 + (c + r) % 7).sum::<usize>()).sum();
+        assert_eq!(total.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_tasks(4, &|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool must still be usable afterwards.
+        let ok = AtomicUsize::new(0);
+        run_tasks(4, &|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn caller_chunk_panic_propagates_after_drain() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_tasks(4, &|i| {
+                if i == 0 {
+                    panic!("caller chunk");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        run_tasks(2, &|_| {});
+    }
+
+    #[test]
+    fn oversubscribed_dispatch_completes() {
+        // Far more tasks than cores: help-drain must chew through the queue.
+        let hits = AtomicUsize::new(0);
+        run_tasks(64, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+}

@@ -12,22 +12,27 @@
 //! (asserted by the `zero_alloc` integration test).
 //!
 //! The `*_with_threads` variants additionally run their O(n) passes
-//! data-parallel over [`okpar::chunk_ranges`] partitions. Chunks are always
+//! data-parallel over [`okpar`] chunk partitions, dispatched through okpar's
+//! persistent worker pool (no per-call thread spawns). Chunks are always
 //! consumed in index order, so the output is bit-identical to the serial pass
 //! for every thread count (asserted by the `parity` proptest suite). The
-//! auto-dispatching wrappers (`select_ge_scratch`, …) use
-//! [`okpar::configured_threads`] — the `OKTOPK_THREADS` knob — and fall back to
-//! the serial path below [`PAR_MIN_LEN`] elements, where thread handoff costs
-//! more than the scan. Note that spawning scoped threads itself allocates: the
-//! zero-allocation guarantee holds on the serial (single-thread) path, which is
-//! also the path the gate picks for steady-state-sized problems on one core.
+//! auto-dispatching wrappers (`select_ge_scratch`, …) pick their thread count
+//! adaptively — one worker per [`SCAN_GRAIN`] elements, capped at
+//! [`okpar::configured_threads`] (the `OKTOPK_THREADS` knob) — so small inputs
+//! take the serial path with zero dispatch overhead. The zero-allocation
+//! steady-state guarantee holds on both paths: the serial path touches only
+//! pooled buffers, and the pool's dispatch enqueues into a queue retained for
+//! the process lifetime (allocation-free on the caller thread after warm-up).
 
 use crate::coo::CooGradient;
 use crate::select::quickselect;
+use okpar::SendPtr;
 
-/// Input length below which the auto-dispatching wrappers stay serial: one
-/// O(n) pass over fewer elements than this is cheaper than a thread handoff.
-pub const PAR_MIN_LEN: usize = 1 << 14;
+/// Elements per worker chunk for the O(n) scan passes — the selection
+/// granularity cutoff. One worker per this many elements (so inputs under
+/// twice this stay serial); calibrated so a chunk's scan (tens of µs) dwarfs
+/// the ~1µs pool dispatch.
+pub const SCAN_GRAIN: usize = 1 << 14;
 
 /// Most buffer pairs ever retained in the pool; `recycle` beyond this drops the
 /// buffers instead of hoarding them.
@@ -38,8 +43,10 @@ const MAX_POOL: usize = 8;
 pub struct SelectScratch {
     /// Magnitude buffer for the quickselect pass (capacity grows to n).
     mags: Vec<f32>,
-    /// Per-chunk counts for the two-pass parallel threshold scan.
+    /// Per-chunk survivor counts for the two-pass parallel threshold scan.
     counts: Vec<usize>,
+    /// Per-chunk output offsets (exclusive prefix sums of `counts`).
+    offsets: Vec<usize>,
     idx_pool: Vec<Vec<u32>>,
     val_pool: Vec<Vec<f32>>,
     /// Largest nnz produced so far; `take_pair` pre-reserves this much so the
@@ -104,25 +111,10 @@ fn keep(v: f32, threshold: f32) -> bool {
     v.abs() >= threshold && v != 0.0
 }
 
-/// Split a mutable slice into consecutive sub-slices of the given lengths.
-fn split_by_lens<'a, T>(mut s: &'a mut [T], lens: &[usize]) -> Vec<&'a mut [T]> {
-    let mut out = Vec::with_capacity(lens.len());
-    for &n in lens {
-        let (head, tail) = std::mem::take(&mut s).split_at_mut(n);
-        out.push(head);
-        s = tail;
-    }
-    debug_assert!(s.is_empty());
-    out
-}
-
-/// Pick the thread count for an auto-dispatched pass over `len` elements.
+/// Pick the thread count for an auto-dispatched pass over `len` elements:
+/// one worker per [`SCAN_GRAIN`] elements, capped at the configured count.
 fn auto_threads(len: usize) -> usize {
-    if len < PAR_MIN_LEN {
-        1
-    } else {
-        okpar::configured_threads()
-    }
+    okpar::threads_for(len, SCAN_GRAIN)
 }
 
 /// [`crate::select::select_ge`] on pooled buffers, auto-parallel
@@ -140,11 +132,8 @@ pub fn select_ge_with_threads(
     threads: usize,
 ) -> CooGradient {
     let (mut idx, mut val) = scratch.take_pair();
-    // Don't even build the chunk list on the serial path — it would be the hot
-    // loop's only allocation.
-    let chunks =
-        if threads <= 1 { Vec::new() } else { okpar::chunk_ranges(dense.len(), threads) };
-    if chunks.len() <= 1 {
+    let chunks = okpar::chunk_count(dense.len(), threads);
+    if chunks <= 1 {
         for (i, &v) in dense.iter().enumerate() {
             if keep(v, threshold) {
                 idx.push(i as u32);
@@ -154,50 +143,44 @@ pub fn select_ge_with_threads(
     } else {
         // Two passes so every entry lands exactly where the serial scan would
         // put it: count matches per chunk, prefix-sum into disjoint output
-        // windows, then fill the windows in parallel.
-        let SelectScratch { counts, .. } = scratch;
+        // windows, then fill the windows in parallel — all through the
+        // persistent pool, on pooled buffers (no per-call allocation).
+        let SelectScratch { counts, offsets, .. } = scratch;
         counts.clear();
-        counts.resize(chunks.len(), 0);
-        crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|r| {
-                    let part = &dense[r.clone()];
-                    s.spawn(move || part.iter().filter(|&&v| keep(v, threshold)).count())
-                })
-                .collect();
-            for (c, h) in counts.iter_mut().zip(handles) {
-                *c = h.join().expect("count worker panicked");
-            }
-        })
-        .expect("scope");
-        let total: usize = counts.iter().sum();
+        counts.resize(chunks, 0);
+        let counts_ptr = SendPtr::new(counts.as_mut_ptr());
+        okpar::run_chunks(dense.len(), threads, |ci, r| {
+            let c = dense[r].iter().filter(|&&v| keep(v, threshold)).count();
+            // Safety: each chunk index writes only its own counts slot.
+            unsafe { *counts_ptr.get().add(ci) = c };
+        });
+        offsets.clear();
+        let mut total = 0usize;
+        for &c in counts.iter() {
+            offsets.push(total);
+            total += c;
+        }
         idx.resize(total, 0);
         val.resize(total, 0.0);
-        crossbeam::thread::scope(|s| {
-            let idx_parts = split_by_lens(&mut idx, counts);
-            let val_parts = split_by_lens(&mut val, counts);
-            let mut handles = Vec::with_capacity(chunks.len());
-            for ((r, ip), vp) in chunks.iter().zip(idx_parts).zip(val_parts) {
-                let part = &dense[r.clone()];
-                let base = r.start as u32;
-                handles.push(s.spawn(move || {
-                    let mut w = 0usize;
-                    for (off, &v) in part.iter().enumerate() {
-                        if keep(v, threshold) {
-                            ip[w] = base + off as u32;
-                            vp[w] = v;
-                            w += 1;
-                        }
-                    }
-                    debug_assert_eq!(w, ip.len());
-                }));
+        let idx_ptr = SendPtr::new(idx.as_mut_ptr());
+        let val_ptr = SendPtr::new(val.as_mut_ptr());
+        let (counts, offsets) = (&*counts, &*offsets);
+        okpar::run_chunks(dense.len(), threads, |ci, r| {
+            // Safety: output windows [offsets[ci], offsets[ci] + counts[ci])
+            // are disjoint by construction of the prefix sums.
+            let ip = unsafe { idx_ptr.slice_mut(offsets[ci], counts[ci]) };
+            let vp = unsafe { val_ptr.slice_mut(offsets[ci], counts[ci]) };
+            let base = r.start as u32;
+            let mut w = 0usize;
+            for (off, &v) in dense[r].iter().enumerate() {
+                if keep(v, threshold) {
+                    ip[w] = base + off as u32;
+                    vp[w] = v;
+                    w += 1;
+                }
             }
-            for h in handles {
-                h.join().expect("fill worker panicked");
-            }
-        })
-        .expect("scope");
+            debug_assert_eq!(w, ip.len());
+        });
     }
     scratch.note_nnz(idx.len());
     CooGradient::from_sorted(idx, val)
@@ -222,33 +205,20 @@ pub fn exact_threshold_with_threads(
         return f32::INFINITY;
     }
     let k = k.min(values.len());
-    let SelectScratch { mags, counts, .. } = scratch;
+    let SelectScratch { mags, .. } = scratch;
     mags.clear();
-    // Serial path: skip the chunk-list allocation (see `select_ge_with_threads`).
-    let chunks =
-        if threads <= 1 { Vec::new() } else { okpar::chunk_ranges(values.len(), threads) };
-    if chunks.len() <= 1 {
+    if okpar::chunk_count(values.len(), threads) <= 1 {
         mags.extend(values.iter().map(|v| v.abs()));
     } else {
         mags.resize(values.len(), 0.0);
-        counts.clear();
-        counts.extend(chunks.iter().map(|r| r.len()));
-        crossbeam::thread::scope(|s| {
-            let parts = split_by_lens(mags, counts);
-            let mut handles = Vec::with_capacity(chunks.len());
-            for (r, part) in chunks.iter().zip(parts) {
-                let src = &values[r.clone()];
-                handles.push(s.spawn(move || {
-                    for (m, &v) in part.iter_mut().zip(src) {
-                        *m = v.abs();
-                    }
-                }));
+        let mags_ptr = SendPtr::new(mags.as_mut_ptr());
+        okpar::run_chunks(values.len(), threads, |_, r| {
+            // Safety: chunk ranges are disjoint windows of the mags buffer.
+            let part = unsafe { mags_ptr.slice_mut(r.start, r.len()) };
+            for (m, &v) in part.iter_mut().zip(&values[r]) {
+                *m = v.abs();
             }
-            for h in handles {
-                h.join().expect("abs worker panicked");
-            }
-        })
-        .expect("scope");
+        });
     }
     // k-th largest magnitude = element at position (n - k) in ascending order.
     let pos = mags.len() - k;

@@ -14,9 +14,28 @@
 //!   The optional scaling mode reproduces §5.4's fairness adjustment: scale the
 //!   threshold down until at least `3k/4` values are selected.
 
-use crate::scratch::{exact_threshold_scratch, SelectScratch};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::scratch::{exact_threshold_scratch, SelectScratch, SCAN_GRAIN};
 use crate::select::exact_threshold;
 use crate::stats::{mean_std, normal_ppf};
+
+/// Count entries with `|v| >= th`, data-parallel through the okpar pool above
+/// the [`SCAN_GRAIN`] granularity cutoff. A count is an integer reduction, so
+/// the result is identical to the serial scan regardless of chunk completion
+/// order.
+fn count_abs_ge(values: &[f32], th: f32) -> usize {
+    let threads = okpar::threads_for(values.len(), SCAN_GRAIN);
+    if threads <= 1 {
+        return values.iter().filter(|v| v.abs() >= th).count();
+    }
+    let total = AtomicUsize::new(0);
+    okpar::run_chunks(values.len(), threads, |_, r| {
+        let c = values[r].iter().filter(|v| v.abs() >= th).count();
+        total.fetch_add(c, Ordering::Relaxed);
+    });
+    total.into_inner()
+}
 
 /// Strategy for producing the |value| cut-off used to sparsify a gradient.
 pub trait ThresholdEstimator {
@@ -149,13 +168,13 @@ impl ThresholdEstimator for GaussianEstimator {
         let mut th = Self::raw_threshold(values, k);
         if self.scale_to_three_quarters && th.is_finite() && th > 0.0 {
             let target = (3 * k) / 4;
-            let mut selected = values.iter().filter(|v| v.abs() >= th).count();
+            let mut selected = count_abs_ge(values, th);
             // Bounded loop: threshold decays geometrically, so this terminates fast;
             // the paper notes the adjustment cost is negligible next to comm/compute.
             let mut guard = 0;
             while selected < target && guard < 200 {
                 th *= 0.9;
-                selected = values.iter().filter(|v| v.abs() >= th).count();
+                selected = count_abs_ge(values, th);
                 guard += 1;
             }
         }

@@ -4,7 +4,10 @@
 //! *bit-identical* to the serial reference in `sparse::select` for every thread
 //! count. These properties exercise the explicit `*_with_threads` variants (no
 //! size gate) so the parallel code paths run even on small inputs, with thread
-//! counts and lengths deliberately chosen not to divide evenly into chunks.
+//! counts and lengths deliberately chosen not to divide evenly into chunks,
+//! and counts (8, 17) oversubscribed beyond any plausible core count so the
+//! pool's help-drain path is covered. Every parallel call goes through the
+//! persistent okpar worker pool.
 
 use proptest::prelude::*;
 use sparse::scratch::{
@@ -14,7 +17,7 @@ use sparse::scratch::{
 use sparse::select::{exact_threshold, select_ge, topk_exact};
 use sparse::CooGradient;
 
-const THREADS: [usize; 4] = [1, 2, 4, 7];
+const THREADS: [usize; 6] = [1, 2, 3, 4, 8, 17];
 
 fn bits(values: &[f32]) -> Vec<u32> {
     values.iter().map(|v| v.to_bits()).collect()

@@ -1,0 +1,73 @@
+//! Pool parity under the process-global thread knob.
+//!
+//! The `parity` suite pins thread counts explicitly; this one drives the
+//! *auto-dispatching* wrappers (`exact_threshold_scratch`, `select_ge_scratch`,
+//! `topk_exact_scratch`) through `okpar::set_threads` — the runtime equivalent
+//! of `OKTOPK_THREADS` — over {1, 3, 8, 17}, including counts oversubscribed
+//! beyond any plausible core count. Inputs are sized well above the
+//! `SCAN_GRAIN` granularity cutoff so the parallel path actually engages, and
+//! every result must be bit-identical to the plain serial references in
+//! `sparse::select`.
+//!
+//! Kept as a single `#[test]` so nothing else in this binary races on the
+//! global knob; the knob is restored (`set_threads(0)`) on exit.
+
+use sparse::scratch::{
+    exact_threshold_scratch, select_ge_scratch, topk_exact_scratch, SelectScratch, SCAN_GRAIN,
+};
+use sparse::select::{exact_threshold, select_ge, topk_exact};
+
+fn pseudo_dense(n: usize, seed: u64) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+            let v = ((h >> 33) % 2000) as f32 / 1000.0 - 1.0;
+            // Exact zeros + tie-prone quantized values: the regimes where a
+            // sloppy parallel merge would diverge first.
+            if v.abs() < 0.5 {
+                0.0
+            } else {
+                (v * 8.0).round() / 8.0
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn auto_wrappers_bit_identical_under_global_thread_knob() {
+    // Big enough that threads_for(n, SCAN_GRAIN) hits the configured cap.
+    let n = 8 * SCAN_GRAIN + 13;
+    let dense = pseudo_dense(n, 7);
+    let k = n / 50;
+
+    let th_ref = exact_threshold(&dense, k);
+    let sel_ref = select_ge(&dense, th_ref);
+    let topk_ref = topk_exact(&dense, k);
+
+    for threads in [1usize, 3, 8, 17] {
+        okpar::set_threads(threads);
+        let mut scratch = SelectScratch::new();
+        // Two rounds per knob setting so the warm (pooled-buffer) path runs too.
+        for round in 0..2 {
+            let th = exact_threshold_scratch(&dense, k, &mut scratch);
+            assert_eq!(
+                th.to_bits(),
+                th_ref.to_bits(),
+                "exact_threshold threads={threads} round={round}"
+            );
+            let sel = select_ge_scratch(&dense, th, &mut scratch);
+            assert_eq!(sel, sel_ref, "select_ge threads={threads} round={round}");
+            scratch.recycle(sel);
+            let topk = topk_exact_scratch(&dense, k, &mut scratch);
+            assert_eq!(topk, topk_ref, "topk threads={threads} round={round}");
+            scratch.recycle(topk);
+        }
+        if threads > 1 {
+            assert!(
+                okpar::pool_workers() >= threads.min(okpar::MAX_THREADS) - 1,
+                "pool did not grow to serve threads={threads}"
+            );
+        }
+    }
+    okpar::set_threads(0);
+}

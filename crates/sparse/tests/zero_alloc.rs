@@ -57,9 +57,10 @@ static ALLOCATOR: CountingAlloc = CountingAlloc;
 /// One steady-state selection iteration as the Ok-Topk hot loop performs it:
 /// estimate the exact threshold, select ≥-threshold entries, merge a peer's
 /// contribution without allocating, re-filter against the threshold, and
-/// return all storage to the pool. Serial path (threads = 1) — the
-/// zero-allocation guarantee is for the steady-state serial path; scoped
-/// thread spawns inherently allocate.
+/// return all storage to the pool. `threads = 1` is the serial path;
+/// `threads > 1` dispatches through the persistent okpar worker pool, which
+/// after [`okpar::prewarm`] is also allocation-free on the caller thread
+/// (jobs enqueue into a process-lifetime queue; the latch lives on the stack).
 fn hot_iteration(
     dense: &[f32],
     peer: &CooGradient,
@@ -67,9 +68,10 @@ fn hot_iteration(
     scratch: &mut SelectScratch,
     spare_idx: &mut Vec<u32>,
     spare_val: &mut Vec<f32>,
+    threads: usize,
 ) -> usize {
-    let th = exact_threshold_with_threads(dense, k, scratch, 1);
-    let mut selected = select_ge_with_threads(dense, th, scratch, 1);
+    let th = exact_threshold_with_threads(dense, k, scratch, threads);
+    let mut selected = select_ge_with_threads(dense, th, scratch, threads);
     selected.merge_sum_swap(peer, spare_idx, spare_val);
     let kept = filter_abs_ge_scratch(&selected, th, scratch);
     let nnz = kept.nnz();
@@ -105,7 +107,8 @@ fn steady_state_selection_path_is_allocation_free() {
     scratch.recycle(full);
     let mut warm_nnz = 0;
     for _ in 0..3 {
-        warm_nnz = hot_iteration(&dense, &peer, k, &mut scratch, &mut spare_idx, &mut spare_val);
+        warm_nnz =
+            hot_iteration(&dense, &peer, k, &mut scratch, &mut spare_idx, &mut spare_val, 1);
     }
 
     // Armed phase: the same iteration, repeated, must not allocate at all.
@@ -113,7 +116,7 @@ fn steady_state_selection_path_is_allocation_free() {
     let mut armed_nnz = 0;
     for _ in 0..5 {
         armed_nnz =
-            hot_iteration(&dense, &peer, k, &mut scratch, &mut spare_idx, &mut spare_val);
+            hot_iteration(&dense, &peer, k, &mut scratch, &mut spare_idx, &mut spare_val, 1);
     }
     ARMED.with(|a| a.set(false));
 
@@ -125,4 +128,34 @@ fn steady_state_selection_path_is_allocation_free() {
     // Sanity: the armed iterations did real work identical to the warm ones.
     assert_eq!(armed_nnz, warm_nnz);
     assert!(armed_nnz > 0);
+
+    // Parallel window: the same iterations dispatched through the okpar pool
+    // (threads = 3) must also be allocation-free *on the caller thread* once
+    // the pool is prewarmed — job enqueue reuses the process-lifetime queue,
+    // the completion latch lives on the stack, and all scan buffers are
+    // pooled. (Worker-thread bookkeeping is not charged by this thread-local
+    // counter, and the workers' kernel closures do not allocate either.)
+    const POOL_THREADS: usize = 3;
+    okpar::prewarm(POOL_THREADS);
+    let mut pool_warm_nnz = 0;
+    for _ in 0..3 {
+        pool_warm_nnz = hot_iteration(
+            &dense, &peer, k, &mut scratch, &mut spare_idx, &mut spare_val, POOL_THREADS,
+        );
+    }
+    ARMED.with(|a| a.set(true));
+    let mut pool_nnz = 0;
+    for _ in 0..5 {
+        pool_nnz = hot_iteration(
+            &dense, &peer, k, &mut scratch, &mut spare_idx, &mut spare_val, POOL_THREADS,
+        );
+    }
+    ARMED.with(|a| a.set(false));
+    let pool_allocs = ALLOCS.with(|c| c.get()) - allocs;
+    assert_eq!(
+        pool_allocs, 0,
+        "steady-state pooled-parallel iteration performed {pool_allocs} caller-thread allocations"
+    );
+    assert_eq!(pool_nnz, pool_warm_nnz);
+    assert_eq!(pool_nnz, armed_nnz, "parallel iteration diverged from serial");
 }

@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
 # Pre-PR gate: everything a change must pass before review.
 #
-#   ./scripts/check.sh          # build + full test suite + quick hot-path bench
+#   ./scripts/check.sh          # build + full test suite + quick hot-path gate
 #
-# The hot-path bench runs in --quick mode (a few seconds) and refreshes
-# BENCH_PR1.json; inspect the per-bench speedups before posting perf claims.
+# The hot-path bench runs in --quick --gate mode (a few seconds): it fails the
+# script if any *_serial_vs_parallel speedup at the default thread count drops
+# below 0.98, unless the row is flagged serial_fallback (the adaptive
+# granularity policy chose 1 thread — parallel == serial by design, e.g. on a
+# single-core host). Quick numbers go to target/hotpath-gate.json so they never
+# overwrite the checked-in full-run BENCH_PR2.json; regenerate that with
+#   cargo run --release -p okbench --bin hotpath
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,7 +19,7 @@ cargo build --release --workspace
 echo "== tests =="
 cargo test -q --workspace
 
-echo "== hot-path bench (quick) =="
-cargo run --release -p okbench --bin hotpath -- --quick
+echo "== hot-path bench (quick, gated) =="
+cargo run --release -p okbench --bin hotpath -- --quick --gate --out target/hotpath-gate.json
 
 echo "OK: all gates passed"
