@@ -2,9 +2,7 @@
 //! the full simulated collective (real data movement over threads), one per
 //! Table 1 algorithm. Useful for tracking the simulator's own performance.
 
-use collectives::{
-    allreduce_inplace, dsa_allreduce, gtopk_allreduce, topk_allgather_allreduce,
-};
+use collectives::{allreduce_inplace, dsa_allreduce, gtopk_allreduce, topk_allgather_allreduce};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::prelude::*;
 use simnet::{Cluster, CostModel};

@@ -117,10 +117,9 @@ fn main() {
 
     println!("\nAblation 4 — Ok-Topk vs dense allreduce on Aries-class vs commodity networks");
     println!("(single steady-state exchange, P = {p}, n = {n}, k = {k}; modeled ms)");
-    for (name, prof) in [
-        ("aries", CostProfile::paper_calibrated()),
-        ("commodity", CostProfile::commodity_cloud()),
-    ] {
+    for (name, prof) in
+        [("aries", CostProfile::paper_calibrated()), ("commodity", CostProfile::commodity_cloud())]
+    {
         let mut rng = StdRng::seed_from_u64(9);
         let dense_in: Vec<Vec<f32>> =
             (0..p).map(|_| (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
@@ -215,11 +214,7 @@ fn main() {
                 .copied()
                 .fold(0.0, f64::max)
         };
-        println!(
-            "  {name:<13} dense {:>8.4} ms   ok-topk {:>8.4} ms",
-            t_dense * 1e3,
-            t_okt * 1e3
-        );
+        println!("  {name:<13} dense {:>8.4} ms   ok-topk {:>8.4} ms", t_dense * 1e3, t_okt * 1e3);
     }
     println!("  (both algorithms are topology-agnostic; the hierarchy model exists to study");
     println!("   placement-aware variants — the paper's hybrid-parallelism future work)");

@@ -33,7 +33,10 @@ fn main() {
             &Scheme::all(),
             &cfg,
             || LstmNet::new(21),
-            { let data = data.clone(); move |it, r, w| data.train_batch(it, r, w, local_batch) },
+            {
+                let data = data.clone();
+                move |it, r, w| data.train_batch(it, r, w, local_batch)
+            },
             &eval,
             Some(false),
         );

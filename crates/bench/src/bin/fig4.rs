@@ -43,8 +43,7 @@ where
         let mut model = make_model();
         let n = model.num_params();
         let k = ((n as f64 * density) as usize).max(1);
-        let mut sgd =
-            OkTopkSgd::new(OkTopkConfig::new(n, k).with_periods(64, tau_prime));
+        let mut sgd = OkTopkSgd::new(OkTopkConfig::new(n, k).with_periods(64, tau_prime));
         let mut out: Option<(Vec<f32>, f32)> = None;
         for t in 1..=total {
             let batch = make_batch((t - 1) as u64, comm.rank(), comm.size());
@@ -108,7 +107,6 @@ fn print_panel(name: &str, density: f64, acc: &[f32], reused_th: f32) {
     let (below, above) = h.outliers();
     println!("   (outside range: {below} below, {above} above)");
 }
-
 
 /// Largest iteration ≤ `total` that sits exactly 26 iterations after a threshold
 /// re-evaluation (Algorithm 1 re-evaluates when (t−1) mod τ′ == 0), so the

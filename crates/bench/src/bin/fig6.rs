@@ -54,10 +54,8 @@ fn summarize(panel: &Panel) {
     // table above, exactly as in the paper's Fig. 6 for VGG/LSTM.
     let stable = &recs[recs.len() / 2..];
     let dev = |get: &dyn Fn(&train::IterRecord) -> Option<usize>| -> f64 {
-        let devs: Vec<f64> = stable
-            .iter()
-            .filter_map(|r| get(r).map(|v| (v as f64 - k).abs() / k))
-            .collect();
+        let devs: Vec<f64> =
+            stable.iter().filter_map(|r| get(r).map(|v| (v as f64 - k).abs() / k)).collect();
         devs.iter().sum::<f64>() / devs.len().max(1) as f64
     };
     println!(
@@ -66,19 +64,10 @@ fn summarize(panel: &Panel) {
         100.0 * dev(&|r| r.global_nnz)
     );
     let g2 = &panel.gaussian.records[panel.gaussian.records.len() / 2..];
-    let gauss_mean: f64 = g2
-        .iter()
-        .filter_map(|r| r.gaussian_pred)
-        .map(|v| v as f64)
-        .sum::<f64>()
+    let gauss_mean: f64 = g2.iter().filter_map(|r| r.gaussian_pred).map(|v| v as f64).sum::<f64>()
         / g2.len().max(1) as f64;
-    println!(
-        "  Gaussiank mean raw prediction: {:.0} ({:.2}x of k)",
-        gauss_mean,
-        gauss_mean / k
-    );
-    let dsa_density: Vec<f64> =
-        panel.dsa.records.iter().filter_map(|r| r.dsa_density).collect();
+    println!("  Gaussiank mean raw prediction: {:.0} ({:.2}x of k)", gauss_mean, gauss_mean / k);
+    let dsa_density: Vec<f64> = panel.dsa.records.iter().filter_map(|r| r.dsa_density).collect();
     let mean_density = dsa_density.iter().sum::<f64>() / dsa_density.len().max(1) as f64;
     println!(
         "  TopkDSA/TopkA output-buffer density (fill-in, §5.2): mean {:.2}% (input density was the configured k/n)",

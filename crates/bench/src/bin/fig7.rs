@@ -13,8 +13,8 @@ use oktopk::{OkTopk, OkTopkConfig};
 use rand::prelude::*;
 use simnet::Cluster;
 use sparse::select::topk_exact;
-use sparse::SelectScratch;
 use sparse::CooGradient;
+use sparse::SelectScratch;
 use train::CostProfile;
 
 /// Synthetic "BERT-like" accumulators: top-k coordinates cluster in a *narrow* band
@@ -88,7 +88,9 @@ fn main() {
     print_series("speedup", &speedup);
 
     println!("\nFigure 7(b) — data balancing + allgatherv vs direct allgatherv");
-    println!("(balance-and-allgatherv makespan, modeled ms; survivors concentrated on one worker)\n");
+    println!(
+        "(balance-and-allgatherv makespan, modeled ms; survivors concentrated on one worker)\n"
+    );
     let mut direct_t = Vec::new();
     let mut balanced2_t = Vec::new();
     for &p in &ps {
@@ -146,7 +148,13 @@ fn main() {
                         .with_rotation(rotation)
                         .with_merge_cost(cost.merge_per_elem);
                     let t0 = comm.now();
-                    split_and_reduce(comm, &cfg, &locals[comm.rank()], &bounds, &mut SelectScratch::new());
+                    split_and_reduce(
+                        comm,
+                        &cfg,
+                        &locals[comm.rank()],
+                        &bounds,
+                        &mut SelectScratch::new(),
+                    );
                     comm.now() - t0
                 })
                 .results

@@ -34,7 +34,10 @@ fn main() {
             &Scheme::all(),
             &cfg,
             || VggLite::new(16),
-            { let data = data.clone(); move |it, r, w| data.train_batch(it, r, w, local_batch) },
+            {
+                let data = data.clone();
+                move |it, r, w| data.train_batch(it, r, w, local_batch)
+            },
             &eval,
             Some(true),
         );

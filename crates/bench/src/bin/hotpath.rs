@@ -83,7 +83,11 @@ fn pseudo_dense(n: usize, seed: u64) -> Vec<f32> {
             let h = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
             let v = ((h >> 33) % 2000) as f32 / 1000.0 - 1.0;
             // ~60% exact zeros: the duplicate-heavy regime of a residual buffer.
-            if v.abs() < 0.6 { 0.0 } else { v }
+            if v.abs() < 0.6 {
+                0.0
+            } else {
+                v
+            }
         })
         .collect()
 }
@@ -385,7 +389,11 @@ fn gate(results: &[BenchResult]) -> Result<(), String> {
             _ => {}
         }
     }
-    if failures.is_empty() { Ok(()) } else { Err(failures.join("; ")) }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
 }
 
 fn main() {
@@ -435,10 +443,7 @@ fn main() {
     ];
 
     for r in &results {
-        let speedup = r
-            .speedup()
-            .map(|s| format!("{s:.2}x"))
-            .unwrap_or_else(|| "—".to_string());
+        let speedup = r.speedup().map(|s| format!("{s:.2}x")).unwrap_or_else(|| "—".to_string());
         let fb = if r.serial_fallback { " [serial fallback]" } else { "" };
         eprintln!(
             "  {:<28} baseline {:>12} ns  optimized {:>12} ns  speedup {}{}",

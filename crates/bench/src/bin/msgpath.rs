@@ -1,0 +1,210 @@
+//! Message-path wall-clock benchmark: pooled zero-copy envelopes vs the
+//! boxed-per-message baseline, across cluster sizes P ∈ {4, 16, 64}.
+//!
+//! Each rank runs a bucketed ring exchange: send a bucket of `msg_elems`-word
+//! f32 messages to the right neighbour, then drain the matching bucket from
+//! the left (the split-reduce pattern). The *pooled* variant is the hot path —
+//! buffers come from the per-rank free-list ([`simnet::Comm::take_f32`]),
+//! travel as the inline `Payload::F32` variant, and are recycled on receipt.
+//! The *boxed* variant reproduces the pre-PR path: a fresh `Vec` is cloned
+//! per message, wrapped in a type the envelope cannot specialize (so it pays
+//! the `Box<dyn Any>` heap round-trip), and dropped on the receiving thread —
+//! including the cross-thread malloc/free traffic that pattern generates.
+//!
+//! Runs in free mode (zero modeled cost, no ledger/trace work) so the numbers
+//! isolate the real per-message CPU cost of the envelope machinery itself.
+//!
+//! Emits `BENCH_PR4.json` with messages/sec and bytes/sec per variant and P.
+//!
+//! Usage: `cargo run --release -p okbench --bin msgpath [-- --quick] [--gate]
+//! [--out PATH]`. `--gate` exits non-zero if the pooled path loses to the
+//! boxed baseline (speedup < 1.0) at P = 16 — the regression gate run by
+//! `scripts/check.sh`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use simnet::{Cluster, CostModel, WireSize};
+
+const TAG: u64 = 0x77;
+
+/// A payload shape the envelope cannot specialize: forces `Payload::Boxed`,
+/// i.e. one `Box<dyn Any>` allocation per message — the pre-PR wire format.
+struct Opaque(Vec<f32>);
+
+impl WireSize for Opaque {
+    fn wire_elems(&self) -> u64 {
+        self.0.len() as u64
+    }
+}
+
+struct RunStats {
+    /// Total messages moved across the cluster.
+    msgs: u64,
+    /// Median wall-clock seconds over the trials.
+    secs: f64,
+}
+
+impl RunStats {
+    fn msgs_per_sec(&self) -> f64 {
+        self.msgs as f64 / self.secs
+    }
+}
+
+/// One timed cluster run of the bucketed ring exchange: send a bucket of
+/// messages to the right neighbour, then drain the matching bucket from the
+/// left — the pattern of the split-reduce phase, with the bucket keeping
+/// enough messages in flight that ranks are not woken per message. In the
+/// pooled variant the drain recycles every buffer the next bucket's sends
+/// take back out, so its steady state performs no heap allocation at all.
+fn ring_exchange(p: usize, msg_elems: usize, bucket: usize, msgs: usize, pooled: bool) -> f64 {
+    let start = Instant::now();
+    let report = Cluster::new(p, CostModel::free()).run(move |comm| {
+        comm.set_free_mode(true);
+        let right = (comm.rank() + 1) % comm.size();
+        let left = (comm.rank() + comm.size() - 1) % comm.size();
+        let src: Vec<f32> =
+            (0..msg_elems).map(|i| i as f32 * 0.5 + comm.rank() as f32 + 1.0).collect();
+        let mut check = 0.0f64;
+        for _ in 0..msgs / bucket {
+            if pooled {
+                for _ in 0..bucket {
+                    let mut buf = comm.take_f32(msg_elems);
+                    buf.extend_from_slice(&src);
+                    comm.send(right, TAG, buf);
+                }
+                for _ in 0..bucket {
+                    let got: Vec<f32> = comm.recv(left, TAG);
+                    check += got[0] as f64;
+                    comm.recycle_f32(got);
+                }
+            } else {
+                for _ in 0..bucket {
+                    comm.send(right, TAG, Opaque(src.clone()));
+                }
+                for _ in 0..bucket {
+                    let got: Opaque = comm.recv(left, TAG);
+                    check += got.0[0] as f64;
+                }
+            }
+        }
+        black_box(check)
+    });
+    black_box(&report.results);
+    start.elapsed().as_secs_f64()
+}
+
+/// Median-of-trials stats for one (P, variant) cell.
+fn measure(
+    p: usize,
+    msg_elems: usize,
+    bucket: usize,
+    msgs: usize,
+    trials: usize,
+    pooled: bool,
+) -> RunStats {
+    // Warm-up run: thread spawn paths, channel blocks, pool population.
+    ring_exchange(p, msg_elems, bucket, msgs.min(bucket * 20), pooled);
+    let mut samples: Vec<f64> =
+        (0..trials).map(|_| ring_exchange(p, msg_elems, bucket, msgs, pooled)).collect();
+    samples.sort_by(f64::total_cmp);
+    RunStats { msgs: (p * msgs) as u64, secs: samples[samples.len() / 2] }
+}
+
+struct Row {
+    p: usize,
+    pooled: RunStats,
+    boxed: RunStats,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.pooled.msgs_per_sec() / self.boxed.msgs_per_sec()
+    }
+}
+
+fn write_json(path: &str, quick: bool, msg_elems: usize, bucket: usize, rows: &[Row]) {
+    let bytes = (msg_elems * 4) as f64;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"msgpath\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"msg_elems\": {msg_elems},\n"));
+    out.push_str(&format!("  \"msg_bytes\": {},\n", msg_elems * 4));
+    out.push_str(&format!("  \"bucket\": {bucket},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"p\": {},\n", r.p));
+        out.push_str(&format!("      \"messages\": {},\n", r.pooled.msgs));
+        out.push_str(&format!("      \"pooled_msgs_per_sec\": {:.0},\n", r.pooled.msgs_per_sec()));
+        out.push_str(&format!("      \"boxed_msgs_per_sec\": {:.0},\n", r.boxed.msgs_per_sec()));
+        out.push_str(&format!(
+            "      \"pooled_bytes_per_sec\": {:.0},\n",
+            r.pooled.msgs_per_sec() * bytes
+        ));
+        out.push_str(&format!(
+            "      \"boxed_bytes_per_sec\": {:.0},\n",
+            r.boxed.msgs_per_sec() * bytes
+        ));
+        out.push_str(&format!("      \"speedup\": {:.3}\n", r.speedup()));
+        out.push_str(if i + 1 < rows.len() { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write bench json");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let run_gate = args.iter().any(|a| a == "--gate");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_PR4.json")
+        .to_string();
+
+    let msg_elems = 256; // 1 KiB messages: the COO-shard / dense-chunk regime
+                         // Bucket depth within the per-rank pool cap, so the pooled variant's
+                         // steady state recycles every buffer the next bucket takes (the
+                         // collectives' own bucket sizes sit in the same range).
+    let bucket = 32;
+    let (msgs, trials) = if quick { (20_000, 2) } else { (60_000, 3) };
+    let cluster_sizes = [4usize, 16, 64];
+
+    eprintln!("msgpath: msg_elems={msg_elems} bucket={bucket} msgs/rank={msgs} quick={quick}");
+    let mut rows = Vec::new();
+    for &p in &cluster_sizes {
+        // Keep cluster-wide message totals comparable: fewer per-rank
+        // messages at higher P.
+        let m = (msgs * 16 / p).max(2_000);
+        let pooled = measure(p, msg_elems, bucket, m, trials, true);
+        let boxed = measure(p, msg_elems, bucket, m, trials, false);
+        let row = Row { p, pooled, boxed };
+        eprintln!(
+            "  p={:<3} pooled {:>12.0} msg/s  boxed {:>12.0} msg/s  speedup {:.2}x",
+            p,
+            row.pooled.msgs_per_sec(),
+            row.boxed.msgs_per_sec(),
+            row.speedup()
+        );
+        rows.push(row);
+    }
+
+    write_json(&out_path, quick, msg_elems, bucket, &rows);
+    eprintln!("wrote {out_path}");
+
+    if run_gate {
+        let p16 = rows.iter().find(|r| r.p == 16).expect("P=16 row present");
+        if p16.speedup() < 1.0 {
+            eprintln!(
+                "gate: FAIL — pooled path {:.3}x vs boxed at P=16 (must be ≥ 1.0)",
+                p16.speedup()
+            );
+            std::process::exit(1);
+        }
+        eprintln!("gate: OK (pooled {:.2}x boxed at P=16)", p16.speedup());
+    }
+}

@@ -32,7 +32,9 @@ fn main() {
     let mut labels = Vec::new();
     let mut volumes = Vec::new();
     let mut times = Vec::new();
-    for (label, mode) in [("f32 (plain)", None), ("q16", Some(QuantMode::Q16)), ("q8", Some(QuantMode::Q8))] {
+    for (label, mode) in
+        [("f32 (plain)", None), ("q16", Some(QuantMode::Q16)), ("q8", Some(QuantMode::Q8))]
+    {
         let ls = locals.clone();
         let report = Cluster::new(p, cost.network()).run(move |comm| match mode {
             None => {
@@ -65,7 +67,9 @@ fn main() {
             *m += x / p as f32;
         }
     }
-    for (label, mode) in [("f32 (plain)", None), ("q16", Some(QuantMode::Q16)), ("q8", Some(QuantMode::Q8))] {
+    for (label, mode) in
+        [("f32 (plain)", None), ("q16", Some(QuantMode::Q16)), ("q8", Some(QuantMode::Q8))]
+    {
         let centers = centers.clone();
         let mean = mean.clone();
         let report = Cluster::new(p, cost.network()).run(move |comm| {

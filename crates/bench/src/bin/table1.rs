@@ -47,7 +47,8 @@ fn measure(p: usize, f: impl Fn(&mut simnet::Comm) + Send + Sync) -> Row {
 fn main() {
     let n: usize = if full_scale() { 1 << 20 } else { 1 << 17 };
     let k = n / 100; // density 1%
-    let ps: Vec<usize> = if full_scale() { vec![4, 8, 16, 32, 64, 128] } else { vec![4, 8, 16, 32, 64] };
+    let ps: Vec<usize> =
+        if full_scale() { vec![4, 8, 16, 32, 64, 128] } else { vec![4, 8, 16, 32, 64] };
     println!("Table 1 — communication overhead (n = {n}, k = {k}, density 1%)");
     println!("volumes are per-rank sent elements; time is modeled seconds\n");
 
@@ -69,7 +70,9 @@ fn main() {
                 "Dense" => {
                     let dense_inputs: Vec<Vec<f32>> = {
                         let mut rng = StdRng::seed_from_u64(7);
-                        (0..p).map(|_| (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+                        (0..p)
+                            .map(|_| (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+                            .collect()
                     };
                     measure(p, move |comm| {
                         let mut d = dense_inputs[comm.rank()].clone();
@@ -111,9 +114,8 @@ fn main() {
                         let acc2 = acc2.clone();
                         let cost = CostProfile::paper_calibrated().network();
                         Cluster::new(p, cost).run(move |comm| {
-                            let mut okt = OkTopk::new(
-                                OkTopkConfig::new(n, k).with_periods(1_000, 1_000),
-                            );
+                            let mut okt =
+                                OkTopk::new(OkTopkConfig::new(n, k).with_periods(1_000, 1_000));
                             for t in 1..=iters {
                                 let acc = if t == 1 { &acc1 } else { &acc2 };
                                 okt.allreduce(comm, &acc[comm.rank()], t);
@@ -127,9 +129,8 @@ fn main() {
                         .map(|r| r2.ledger.rank_elements(r) - r1.ledger.rank_elements(r))
                         .max()
                         .unwrap_or(0);
-                    let mean_vol = (r2.ledger.total_elements() - r1.ledger.total_elements())
-                        as f64
-                        / p as f64;
+                    let mean_vol =
+                        (r2.ledger.total_elements() - r1.ledger.total_elements()) as f64 / p as f64;
                     Row { max_vol, mean_vol, time: r2.makespan() - r1.makespan() }
                 }
                 _ => unreachable!(),
@@ -174,6 +175,11 @@ fn main() {
     for (i, &p) in ps.iter().enumerate() {
         let bound = 6.0 * k as f64 * (p as f64 - 1.0) / p as f64;
         let ok = okt.1[i] <= bound * 1.10;
-        println!("  P={p:<4} max/rank {:>10.0}  bound {:>10.0}  {}", okt.1[i], bound, if ok { "OK" } else { "VIOLATION" });
+        println!(
+            "  P={p:<4} max/rank {:>10.0}  bound {:>10.0}  {}",
+            okt.1[i],
+            bound,
+            if ok { "OK" } else { "VIOLATION" }
+        );
     }
 }

@@ -7,9 +7,9 @@ use oktopk::OkTopkConfig;
 use rand::prelude::*;
 use simnet::{render_timeline, Cluster};
 use sparse::partition::equal_boundaries;
-use sparse::SelectScratch;
 use sparse::select::topk_exact;
 use sparse::CooGradient;
+use sparse::SelectScratch;
 use train::CostProfile;
 
 fn main() {

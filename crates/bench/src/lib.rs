@@ -144,10 +144,7 @@ where
                 Some(false) => 1.0 - last.accuracy,
                 None => last.loss,
             };
-            println!(
-                "    final: {metric_name} = {v:.4} at modeled time {:.2}s",
-                last.time
-            );
+            println!("    final: {metric_name} = {v:.4} at modeled time {:.2}s", last.time);
         }
         results.push((scheme, res));
     }

@@ -5,9 +5,14 @@
 //! quoted in Table 1 with `2·log P` latency, but requires a power-of-two rank count;
 //! [`allreduce_inplace`] falls back to a ring (same bandwidth, `2(P−1)` latency) for
 //! other sizes.
+//!
+//! The hot paths are allocation-free in the steady state: chunk regions are
+//! computed arithmetically (no boundary vector), send chunks come from the
+//! communicator's recycled-buffer pool, and every received chunk is recycled
+//! after accumulation.
 
 use simnet::{Net, WireSize};
-use sparse::partition::equal_boundaries;
+use std::sync::Arc;
 
 const TAG_RS: u64 = 0x10; // reduce-scatter phase
 const TAG_AG: u64 = 0x11; // allgather phase
@@ -16,33 +21,78 @@ const TAG_AR64: u64 = 0x13; // small f64 allreduce
 const TAG_ITEMS: u64 = 0x14; // generic item allgather
 const TAG_A2A: u64 = 0x15; // alltoallv
 
+/// Element range of regions `[a, b)` of the equal partition of `n` elements into
+/// `p` regions (region `j` spans `[n·j/p, n·(j+1)/p)`). Same boundaries as
+/// `sparse::partition::equal_boundaries`, computed on demand without the vector.
+fn region(n: usize, p: usize, a: usize, b: usize) -> std::ops::Range<usize> {
+    n * a / p..n * b / p
+}
+
+/// Evenly spreads a caller-attributed compute budget across the steps of a
+/// collective. Each share is spent between posting a step's receive and waiting
+/// on it, so the message drains concurrently with the compute (DenseOvlp).
+#[derive(Clone, Copy)]
+struct StepBudget {
+    per_step: f64,
+}
+
+impl StepBudget {
+    fn new(total: f64, steps: usize) -> Self {
+        Self { per_step: if steps > 0 { total / steps as f64 } else { 0.0 } }
+    }
+
+    fn spend<C: Net>(&self, comm: &mut C) {
+        if self.per_step > 0.0 {
+            comm.compute(self.per_step);
+        }
+    }
+}
+
 /// In-place sum-allreduce of a dense f32 vector across all ranks.
 ///
 /// Picks Rabenseifner for power-of-two cluster sizes, ring otherwise. `data` must
 /// have the same length on every rank.
 pub fn allreduce_inplace<C: Net>(comm: &mut C, data: &mut [f32]) {
+    allreduce_overlapped(comm, data, 0.0);
+}
+
+/// [`allreduce_inplace`] with `overlap_compute` seconds of caller-attributed
+/// local work (e.g. the DenseOvlp backward tail) interleaved into the exchange.
+///
+/// The budget is spread evenly over the algorithm's steps and spent between
+/// posting each step's receive and waiting on it, so compute runs while the
+/// message drains through the reception port — real overlap in modeled time,
+/// not an accounting fiction. A budget of `0.0` is bit-identical to
+/// [`allreduce_inplace`] in both results and timing.
+pub fn allreduce_overlapped<C: Net>(comm: &mut C, data: &mut [f32], overlap_compute: f64) {
     let p = comm.size();
     if p == 1 {
+        if overlap_compute > 0.0 {
+            comm.compute(overlap_compute);
+        }
         return;
     }
     if p.is_power_of_two() {
-        rabenseifner(comm, data);
+        let steps = 2 * p.trailing_zeros() as usize;
+        rabenseifner(comm, data, StepBudget::new(overlap_compute, steps));
     } else {
-        ring_allreduce(comm, data);
+        ring_allreduce(comm, data, StepBudget::new(overlap_compute, 2 * (p - 1)));
     }
 }
 
-/// Element range of regions `[a, b)` given `P+1` element boundaries.
-fn span(bounds: &[u32], a: usize, b: usize) -> std::ops::Range<usize> {
-    bounds[a] as usize..bounds[b] as usize
+/// Copy `data[range]` into a pooled buffer, ready to send.
+fn pooled_chunk<C: Net>(comm: &mut C, data: &[f32], range: std::ops::Range<usize>) -> Vec<f32> {
+    let mut chunk = comm.take_f32(range.len());
+    chunk.extend_from_slice(&data[range]);
+    chunk
 }
 
 /// Rabenseifner's allreduce for power-of-two P.
-fn rabenseifner<C: Net>(comm: &mut C, data: &mut [f32]) {
+fn rabenseifner<C: Net>(comm: &mut C, data: &mut [f32], overlap: StepBudget) {
     let p = comm.size();
     let rank = comm.rank();
+    let n = data.len();
     debug_assert!(p.is_power_of_two());
-    let bounds = equal_boundaries(data.len() as u32, p);
 
     // Recursive-halving reduce-scatter: the segment of regions this rank still
     // reduces shrinks by half each step.
@@ -56,11 +106,15 @@ fn rabenseifner<C: Net>(comm: &mut C, data: &mut [f32]) {
         } else {
             ((mid, seg_lo + seg_len), (seg_lo, mid))
         };
-        let chunk = data[span(&bounds, give.0, give.1)].to_vec();
-        let got: Vec<f32> = comm.sendrecv(partner, TAG_RS, chunk, partner, TAG_RS);
-        for (d, g) in data[span(&bounds, keep.0, keep.1)].iter_mut().zip(&got) {
+        let chunk = pooled_chunk(comm, data, region(n, p, give.0, give.1));
+        comm.send(partner, TAG_RS, chunk);
+        let req = comm.irecv::<Vec<f32>>(partner, TAG_RS);
+        overlap.spend(comm);
+        let got = comm.wait_recv(req);
+        for (d, g) in data[region(n, p, keep.0, keep.1)].iter_mut().zip(&got) {
             *d += g;
         }
+        comm.recycle_f32(got);
         seg_lo = keep.0;
         seg_len /= 2;
         dist /= 2;
@@ -72,10 +126,14 @@ fn rabenseifner<C: Net>(comm: &mut C, data: &mut [f32]) {
     let mut dist = 1;
     while dist < p {
         let partner = rank ^ dist;
-        let chunk = data[span(&bounds, seg_lo, seg_lo + seg_len)].to_vec();
-        let got: Vec<f32> = comm.sendrecv(partner, TAG_AG, chunk, partner, TAG_AG);
+        let chunk = pooled_chunk(comm, data, region(n, p, seg_lo, seg_lo + seg_len));
+        comm.send(partner, TAG_AG, chunk);
+        let req = comm.irecv::<Vec<f32>>(partner, TAG_AG);
+        overlap.spend(comm);
+        let got = comm.wait_recv(req);
         let partner_lo = if rank & dist == 0 { seg_lo + seg_len } else { seg_lo - seg_len };
-        data[span(&bounds, partner_lo, partner_lo + seg_len)].copy_from_slice(&got);
+        data[region(n, p, partner_lo, partner_lo + seg_len)].copy_from_slice(&got);
+        comm.recycle_f32(got);
         seg_lo = seg_lo.min(partner_lo);
         seg_len *= 2;
         dist *= 2;
@@ -83,10 +141,10 @@ fn rabenseifner<C: Net>(comm: &mut C, data: &mut [f32]) {
 }
 
 /// Ring allreduce for arbitrary P: P−1 reduce-scatter steps + P−1 allgather steps.
-fn ring_allreduce<C: Net>(comm: &mut C, data: &mut [f32]) {
+fn ring_allreduce<C: Net>(comm: &mut C, data: &mut [f32], overlap: StepBudget) {
     let p = comm.size();
     let rank = comm.rank();
-    let bounds = equal_boundaries(data.len() as u32, p);
+    let n = data.len();
     let right = (rank + 1) % p;
     let left = (rank + p - 1) % p;
 
@@ -95,19 +153,27 @@ fn ring_allreduce<C: Net>(comm: &mut C, data: &mut [f32]) {
     for s in 0..p - 1 {
         let send_chunk = (rank + p - s) % p;
         let recv_chunk = (rank + p - s - 1) % p;
-        let chunk = data[span(&bounds, send_chunk, send_chunk + 1)].to_vec();
-        let got: Vec<f32> = comm.sendrecv(right, TAG_RS, chunk, left, TAG_RS);
-        for (d, g) in data[span(&bounds, recv_chunk, recv_chunk + 1)].iter_mut().zip(&got) {
+        let chunk = pooled_chunk(comm, data, region(n, p, send_chunk, send_chunk + 1));
+        comm.send(right, TAG_RS, chunk);
+        let req = comm.irecv::<Vec<f32>>(left, TAG_RS);
+        overlap.spend(comm);
+        let got = comm.wait_recv(req);
+        for (d, g) in data[region(n, p, recv_chunk, recv_chunk + 1)].iter_mut().zip(&got) {
             *d += g;
         }
+        comm.recycle_f32(got);
     }
     // Allgather: circulate the fully reduced chunks.
     for s in 0..p - 1 {
         let send_chunk = (rank + 1 + p - s) % p;
         let recv_chunk = (rank + p - s) % p;
-        let chunk = data[span(&bounds, send_chunk, send_chunk + 1)].to_vec();
-        let got: Vec<f32> = comm.sendrecv(right, TAG_AG, chunk, left, TAG_AG);
-        data[span(&bounds, recv_chunk, recv_chunk + 1)].copy_from_slice(&got);
+        let chunk = pooled_chunk(comm, data, region(n, p, send_chunk, send_chunk + 1));
+        comm.send(right, TAG_AG, chunk);
+        let req = comm.irecv::<Vec<f32>>(left, TAG_AG);
+        overlap.spend(comm);
+        let got = comm.wait_recv(req);
+        data[region(n, p, recv_chunk, recv_chunk + 1)].copy_from_slice(&got);
+        comm.recycle_f32(got);
     }
 }
 
@@ -116,16 +182,17 @@ fn ring_allreduce<C: Net>(comm: &mut C, data: &mut [f32]) {
 pub fn reduce_scatter_block<C: Net>(comm: &mut C, data: &[f32]) -> (usize, Vec<f32>) {
     let p = comm.size();
     let rank = comm.rank();
-    let bounds = equal_boundaries(data.len() as u32, p);
+    let n = data.len();
     if p == 1 {
         return (0, data.to_vec());
     }
     // Direct exchange: send region j to rank j (rotated to avoid endpoint hot-spots),
     // then accumulate the P−1 incoming shards of our own region.
-    let mut mine = data[span(&bounds, rank, rank + 1)].to_vec();
+    let mut mine = data[region(n, p, rank, rank + 1)].to_vec();
     for s in 1..p {
         let dst = (rank + s) % p;
-        comm.send(dst, TAG_RS, data[span(&bounds, dst, dst + 1)].to_vec());
+        let chunk = pooled_chunk(comm, data, region(n, p, dst, dst + 1));
+        comm.send(dst, TAG_RS, chunk);
     }
     for s in 1..p {
         let src = (rank + p - s) % p;
@@ -133,8 +200,9 @@ pub fn reduce_scatter_block<C: Net>(comm: &mut C, data: &[f32]) -> (usize, Vec<f
         for (m, g) in mine.iter_mut().zip(&got) {
             *m += g;
         }
+        comm.recycle_f32(got);
     }
-    (bounds[rank] as usize, mine)
+    (region(n, p, rank, rank).start, mine)
 }
 
 /// An item tagged with its origin rank. The rank is *schedule metadata* — in a real
@@ -192,6 +260,8 @@ where
         let left = (rank + p - 1) % p;
         for s in 0..p - 1 {
             let fwd = (rank + p - s) % p;
+            // The forwarded item must also stay in the result, so this clone is
+            // semantically required (the wire takes ownership).
             let item = slots[fwd].clone().expect("ring invariant: item present");
             let got: T = comm.sendrecv(right, TAG_ITEMS, item, left, TAG_ITEMS);
             slots[(rank + p - s - 1) % p] = Some(got);
@@ -201,16 +271,21 @@ where
 }
 
 /// Binomial-tree broadcast from `root`.
+///
+/// The payload travels as one `Arc`-shared buffer: relays clone the handle, not
+/// the data, so a P-rank broadcast allocates the value once at the root instead
+/// of once per tree edge. Each rank materializes its own copy only on return
+/// (and the last holder of the handle gets the original back without copying).
 pub fn broadcast<C: Net, T>(comm: &mut C, root: usize, value: Option<T>) -> T
 where
-    T: Clone + Send + WireSize + 'static,
+    T: Clone + Send + Sync + WireSize + 'static,
 {
     let p = comm.size();
     let rank = comm.rank();
     // Work in a rotated space where the root is rank 0.
     let vrank = (rank + p - root) % p;
-    let mut have: Option<T> = if rank == root {
-        Some(value.expect("root must provide the broadcast value"))
+    let mut have: Option<Arc<T>> = if rank == root {
+        Some(Arc::new(value.expect("root must provide the broadcast value")))
     } else {
         None
     };
@@ -221,15 +296,16 @@ where
             let target = vrank + dist;
             if target < p {
                 let dst = (target + root) % p;
-                comm.send(dst, TAG_BC, have.clone().expect("sender holds the value"));
+                comm.send_shared(dst, TAG_BC, have.clone().expect("sender holds the value"));
             }
         } else if vrank < 2 * dist {
             let src = ((vrank - dist) + root) % p;
-            have = Some(comm.recv(src, TAG_BC));
+            have = Some(comm.recv_shared(src, TAG_BC));
         }
         dist *= 2;
     }
-    have.expect("broadcast reached every rank")
+    let arc = have.expect("broadcast reached every rank");
+    Arc::try_unwrap(arc).unwrap_or_else(|arc| (*arc).clone())
 }
 
 /// Personalized all-to-all exchange (MPI_Alltoallv): rank `i` sends `items[j]` to
@@ -294,7 +370,6 @@ pub fn allreduce_sum_f64<C: Net>(comm: &mut C, mut data: Vec<f64>) -> Vec<f64> {
         sum
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -371,9 +446,8 @@ mod tests {
         let n = 17;
         let inputs = make_inputs(p, n, 3);
         let expect = reference_sum(&inputs);
-        let report = Cluster::new(p, CostModel::aries()).run(|comm| {
-            reduce_scatter_block(comm, &inputs[comm.rank()])
-        });
+        let report = Cluster::new(p, CostModel::aries())
+            .run(|comm| reduce_scatter_block(comm, &inputs[comm.rank()]));
         let mut reconstructed = vec![0.0f32; n];
         for (offset, chunk) in &report.results {
             reconstructed[*offset..*offset + chunk.len()].copy_from_slice(chunk);
@@ -403,9 +477,8 @@ mod tests {
         for p in [1usize, 2, 3, 5, 8] {
             let report = Cluster::new(p, CostModel::aries()).run(|comm| {
                 // Item for destination j encodes (my rank, j) with j+1 elements.
-                let items: Vec<Vec<u32>> = (0..comm.size())
-                    .map(|j| vec![(comm.rank() * 100 + j) as u32; j + 1])
-                    .collect();
+                let items: Vec<Vec<u32>> =
+                    (0..comm.size()).map(|j| vec![(comm.rank() * 100 + j) as u32; j + 1]).collect();
                 alltoallv(comm, items)
             });
             for (rank, got) in report.results.iter().enumerate() {
@@ -435,9 +508,8 @@ mod tests {
     #[test]
     fn f64_allreduce_sums() {
         for p in [2usize, 4, 5] {
-            let report = Cluster::new(p, CostModel::aries()).run(|comm| {
-                allreduce_sum_f64(comm, vec![comm.rank() as f64, 1.0])
-            });
+            let report = Cluster::new(p, CostModel::aries())
+                .run(|comm| allreduce_sum_f64(comm, vec![comm.rank() as f64, 1.0]));
             let expect0: f64 = (0..p).map(|r| r as f64).sum();
             for got in &report.results {
                 assert_eq!(got[0], expect0);

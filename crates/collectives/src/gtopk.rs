@@ -46,11 +46,15 @@ pub fn gtopk_allreduce<C: Net>(comm: &mut C, local: CooGradient, k: usize) -> Co
 
     let mut data = local;
     // Fold ranks beyond the largest power of two into the main tree first.
+    // COO gradients travel as moved (indexes, values) pairs — the pooled wire
+    // fast path — with identical 2k wire accounting; a sender's role in the
+    // reduction ends at its send, so nothing needs cloning.
     let m = if p.is_power_of_two() { p } else { 1 << (usize::BITS - 1 - p.leading_zeros()) };
     if rank >= m {
-        comm.send(rank - m, TAG_GTOPK, data.clone());
+        comm.send(rank - m, TAG_GTOPK, std::mem::take(&mut data).into_parts());
     } else if rank + m < p {
-        let got: CooGradient = comm.recv(rank + m, TAG_GTOPK);
+        let (idx, val): (Vec<u32>, Vec<f32>) = comm.recv(rank + m, TAG_GTOPK);
+        let got = CooGradient::from_sorted(idx, val);
         data = reselect(&data.merge_sum(&got), k);
     }
 
@@ -59,10 +63,11 @@ pub fn gtopk_allreduce<C: Net>(comm: &mut C, local: CooGradient, k: usize) -> Co
         let mut dist = 1;
         while dist < m {
             if rank & (2 * dist - 1) == dist {
-                comm.send(rank - dist, TAG_GTOPK, data.clone());
+                comm.send(rank - dist, TAG_GTOPK, std::mem::take(&mut data).into_parts());
                 break; // this rank's role in the reduction is done
             } else if rank & (2 * dist - 1) == 0 {
-                let got: CooGradient = comm.recv(rank + dist, TAG_GTOPK);
+                let (idx, val): (Vec<u32>, Vec<f32>) = comm.recv(rank + dist, TAG_GTOPK);
+                let got = CooGradient::from_sorted(idx, val);
                 data = reselect(&data.merge_sum(&got), k);
             }
             dist *= 2;
@@ -83,7 +88,11 @@ mod tests {
     /// Serial emulation of the same tree (fold + binary reduction) for pow2 + fold.
     fn reference(locals: &[CooGradient], k: usize) -> CooGradient {
         let p = locals.len();
-        let m = if p.is_power_of_two() { p } else { 1 << (usize::BITS - 1 - p.leading_zeros() as u32) as usize };
+        let m = if p.is_power_of_two() {
+            p
+        } else {
+            1 << (usize::BITS - 1 - p.leading_zeros() as u32) as usize
+        };
         let mut layer: Vec<CooGradient> = locals[..m].to_vec();
         for r in m..p {
             layer[r - m] = reselect(&layer[r - m].merge_sum(&locals[r]), k);
@@ -118,9 +127,8 @@ mod tests {
             let (n, k) = (300, 24);
             let locals = random_locals(p, n, k, seed);
             let expect = reference(&locals, k);
-            let report = Cluster::new(p, CostModel::aries()).run(|comm| {
-                gtopk_allreduce(comm, locals[comm.rank()].clone(), k)
-            });
+            let report = Cluster::new(p, CostModel::aries())
+                .run(|comm| gtopk_allreduce(comm, locals[comm.rank()].clone(), k));
             for got in &report.results {
                 assert_eq!(got, &expect, "p={p}");
             }
@@ -131,9 +139,8 @@ mod tests {
     fn result_has_at_most_k_entries() {
         let (p, n, k) = (8, 500, 16);
         let locals = random_locals(p, n, k, 11);
-        let report = Cluster::new(p, CostModel::aries()).run(|comm| {
-            gtopk_allreduce(comm, locals[comm.rank()].clone(), k)
-        });
+        let report = Cluster::new(p, CostModel::aries())
+            .run(|comm| gtopk_allreduce(comm, locals[comm.rank()].clone(), k));
         for got in &report.results {
             assert_eq!(got.nnz(), k);
         }
@@ -146,9 +153,8 @@ mod tests {
         let p = 8;
         let base = CooGradient::from_sorted(vec![2, 7, 40], vec![0.5, -1.0, 2.0]);
         let locals: Vec<CooGradient> = (0..p).map(|_| base.clone()).collect();
-        let report = Cluster::new(p, CostModel::free()).run(|comm| {
-            gtopk_allreduce(comm, locals[comm.rank()].clone(), 3)
-        });
+        let report = Cluster::new(p, CostModel::free())
+            .run(|comm| gtopk_allreduce(comm, locals[comm.rank()].clone(), 3));
         for got in &report.results {
             assert_eq!(got.indexes(), &[2, 7, 40]);
             assert_eq!(got.values(), &[4.0, -8.0, 16.0]);

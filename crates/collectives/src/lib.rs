@@ -30,8 +30,8 @@ pub mod topk_a;
 pub mod topk_dsa;
 
 pub use dense::{
-    allgather_items, allreduce_inplace, allreduce_sum_f64, alltoallv, broadcast,
-    reduce_scatter_block,
+    allgather_items, allreduce_inplace, allreduce_overlapped, allreduce_sum_f64, alltoallv,
+    broadcast, reduce_scatter_block,
 };
 pub use gtopk::gtopk_allreduce;
 pub use quantized::quantized_allgather_allreduce;

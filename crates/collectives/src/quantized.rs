@@ -58,7 +58,9 @@ mod tests {
         for mode in [QuantMode::Q16, QuantMode::Q8] {
             let ls2 = ls.clone();
             let got = Cluster::new(p, CostModel::free())
-                .run(move |comm| quantized_allgather_allreduce(comm, ls2[comm.rank()].clone(), mode))
+                .run(move |comm| {
+                    quantized_allgather_allreduce(comm, ls2[comm.rank()].clone(), mode)
+                })
                 .results
                 .remove(0);
             assert_eq!(got.indexes(), exact.indexes());
@@ -79,14 +81,12 @@ mod tests {
         let ls = locals(p, n, k, 5);
         let volume = |q: Option<QuantMode>| -> u64 {
             let ls = ls.clone();
-            let report = Cluster::new(p, CostModel::aries()).run(move |comm| {
-                match q {
-                    None => {
-                        topk_allgather_allreduce(comm, ls[comm.rank()].clone());
-                    }
-                    Some(mode) => {
-                        quantized_allgather_allreduce(comm, ls[comm.rank()].clone(), mode);
-                    }
+            let report = Cluster::new(p, CostModel::aries()).run(move |comm| match q {
+                None => {
+                    topk_allgather_allreduce(comm, ls[comm.rank()].clone());
+                }
+                Some(mode) => {
+                    quantized_allgather_allreduce(comm, ls[comm.rank()].clone(), mode);
                 }
             });
             report.ledger.total_elements()

@@ -47,9 +47,8 @@ mod tests {
             expect.merge_sum_into(l);
         }
 
-        let report = Cluster::new(p, CostModel::aries()).run(|comm| {
-            topk_allgather_allreduce(comm, locals[comm.rank()].clone())
-        });
+        let report = Cluster::new(p, CostModel::aries())
+            .run(|comm| topk_allgather_allreduce(comm, locals[comm.rank()].clone()));
         for got in &report.results {
             assert_eq!(got, &expect);
         }
@@ -78,9 +77,8 @@ mod tests {
         let p = 4;
         let local = CooGradient::from_sorted(vec![1, 5, 9], vec![1.0, 2.0, 3.0]);
         let locals: Vec<CooGradient> = (0..p).map(|_| local.clone()).collect();
-        let report = Cluster::new(p, CostModel::free()).run(|comm| {
-            topk_allgather_allreduce(comm, locals[comm.rank()].clone())
-        });
+        let report = Cluster::new(p, CostModel::free())
+            .run(|comm| topk_allgather_allreduce(comm, locals[comm.rank()].clone()));
         for got in &report.results {
             assert_eq!(got.indexes(), &[1, 5, 9]);
             assert_eq!(got.values(), &[4.0, 8.0, 12.0]);

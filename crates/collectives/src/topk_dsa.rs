@@ -33,11 +33,13 @@ impl WireSize for DsaMsg {
 }
 
 impl DsaMsg {
-    /// Encode a COO shard covering `[lo, hi)`, choosing the cheaper representation.
-    fn encode(shard: &CooGradient, lo: u32, hi: u32) -> Self {
+    /// Encode a COO shard covering `[lo, hi)`, choosing the cheaper
+    /// representation. Takes the shard by value: the sparse case moves it onto
+    /// the wire without copying.
+    fn encode(shard: CooGradient, lo: u32, hi: u32) -> Self {
         let span = (hi - lo) as usize;
         if 2 * shard.nnz() <= span {
-            DsaMsg::Sparse(shard.clone())
+            DsaMsg::Sparse(shard)
         } else {
             let mut values = vec![0.0f32; span];
             for (i, v) in shard.iter() {
@@ -123,7 +125,7 @@ pub fn dsa_allreduce<C: Net>(comm: &mut C, local: CooGradient, n: usize) -> DsaO
     };
 
     // Allgatherv of owned chunks; again pick the cheaper wire format per chunk.
-    let msg = DsaMsg::encode(&owned, bounds[owned_region], bounds[owned_region + 1]);
+    let msg = DsaMsg::encode(owned, bounds[owned_region], bounds[owned_region + 1]);
     switched |= msg.is_dense();
     let all = allgather_items(comm, msg);
     let shards: Vec<CooGradient> = all.into_iter().map(DsaMsg::decode).collect();
@@ -162,14 +164,20 @@ fn recursive_halving<C: Net>(
         } else {
             ((mid, seg_lo + seg_len), (seg_lo, mid))
         };
-        // Split the current chunk at the keep/give boundary.
-        let shards = data.split_by_boundaries(&[bounds[keep.0.min(give.0)], bounds[mid], bounds[keep.1.max(give.1)]]);
-        let (keep_shard, give_shard) = if keep.0 < give.0 {
-            (shards[0].clone(), shards[1].clone())
-        } else {
-            (shards[1].clone(), shards[0].clone())
-        };
-        let msg = DsaMsg::encode(&give_shard, bounds[give.0], bounds[give.1]);
+        // Split the current chunk at the keep/give boundary and move both
+        // halves out (the give half goes straight onto the wire).
+        let mut halves = data
+            .split_by_boundaries(&[
+                bounds[keep.0.min(give.0)],
+                bounds[mid],
+                bounds[keep.1.max(give.1)],
+            ])
+            .into_iter();
+        let lower = halves.next().expect("two regions");
+        let upper = halves.next().expect("two regions");
+        let (keep_shard, give_shard) =
+            if keep.0 < give.0 { (lower, upper) } else { (upper, lower) };
+        let msg = DsaMsg::encode(give_shard, bounds[give.0], bounds[give.1]);
         *switched |= msg.is_dense();
         let got: DsaMsg = comm.sendrecv(partner, TAG_DSA, msg, partner, TAG_DSA);
         data = keep_shard.merge_sum(&got.decode());
@@ -192,14 +200,14 @@ fn direct_exchange<C: Net>(
 ) -> (usize, CooGradient) {
     let p = comm.size();
     let rank = comm.rank();
-    let shards = data.split_by_boundaries(bounds);
+    let mut shards = data.split_by_boundaries(bounds);
+    let mut mine = std::mem::take(&mut shards[rank]);
     for s in 1..p {
         let dst = (rank + s) % p;
-        let msg = DsaMsg::encode(&shards[dst], bounds[dst], bounds[dst + 1]);
+        let msg = DsaMsg::encode(std::mem::take(&mut shards[dst]), bounds[dst], bounds[dst + 1]);
         *switched |= msg.is_dense();
         comm.send(dst, TAG_DSA, msg);
     }
-    let mut mine = shards[rank].clone();
     for s in 1..p {
         let src = (rank + p - s) % p;
         let got: DsaMsg = comm.recv(src, TAG_DSA);
@@ -241,9 +249,8 @@ mod tests {
             })
             .collect();
         let expect = reference(&locals);
-        let report = Cluster::new(p, CostModel::aries()).run(|comm| {
-            dsa_allreduce(comm, locals[comm.rank()].clone(), n)
-        });
+        let report = Cluster::new(p, CostModel::aries())
+            .run(|comm| dsa_allreduce(comm, locals[comm.rank()].clone(), n));
         for out in &report.results {
             assert_coo_close(&out.sum, &expect);
             assert_eq!(out.stats.output_nnz, expect.nnz(), "p={p} n={n} k={k}");
@@ -276,9 +283,8 @@ mod tests {
             })
             .collect();
         let expect = reference(&locals);
-        let report = Cluster::new(p, CostModel::aries()).run(|comm| {
-            dsa_allreduce(comm, locals[comm.rank()].clone(), n)
-        });
+        let report = Cluster::new(p, CostModel::aries())
+            .run(|comm| dsa_allreduce(comm, locals[comm.rank()].clone(), n));
         for out in &report.results {
             assert_coo_close(&out.sum, &expect);
             assert!(out.stats.switched_dense, "expected dense switch-over");
@@ -297,9 +303,8 @@ mod tests {
                 CooGradient::from_sorted(idx, val)
             })
             .collect();
-        let report = Cluster::new(p, CostModel::aries()).run(|comm| {
-            dsa_allreduce(comm, locals[comm.rank()].clone(), n)
-        });
+        let report = Cluster::new(p, CostModel::aries())
+            .run(|comm| dsa_allreduce(comm, locals[comm.rank()].clone(), n));
         for out in &report.results {
             assert_eq!(out.stats.output_nnz, p * k);
         }
@@ -310,9 +315,8 @@ mod tests {
         let (p, n) = (8, 1000);
         let base = CooGradient::from_sorted(vec![3, 500, 999], vec![1.0, -2.0, 0.5]);
         let locals: Vec<CooGradient> = (0..p).map(|_| base.clone()).collect();
-        let report = Cluster::new(p, CostModel::aries()).run(|comm| {
-            dsa_allreduce(comm, locals[comm.rank()].clone(), n)
-        });
+        let report = Cluster::new(p, CostModel::aries())
+            .run(|comm| dsa_allreduce(comm, locals[comm.rank()].clone(), n));
         for out in &report.results {
             assert_eq!(out.stats.output_nnz, 3);
             assert_eq!(out.sum.values(), &[8.0, -16.0, 4.0]);
@@ -323,9 +327,8 @@ mod tests {
     #[test]
     fn single_rank_passthrough() {
         let g = CooGradient::from_sorted(vec![1, 2], vec![1.0, 2.0]);
-        let report = Cluster::new(1, CostModel::free()).run(|comm| {
-            dsa_allreduce(comm, g.clone(), 10)
-        });
+        let report =
+            Cluster::new(1, CostModel::free()).run(|comm| dsa_allreduce(comm, g.clone(), 10));
         assert_eq!(report.results[0].sum, g);
         assert_eq!(report.results[0].stats.output_density, 0.2);
     }

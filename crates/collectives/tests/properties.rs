@@ -11,10 +11,7 @@ use sparse::CooGradient;
 
 fn coo_close(a: &CooGradient, b: &CooGradient) -> bool {
     a.indexes() == b.indexes()
-        && a.values()
-            .iter()
-            .zip(b.values())
-            .all(|(x, y)| (x - y).abs() <= 1e-4 * (1.0 + y.abs()))
+        && a.values().iter().zip(b.values()).all(|(x, y)| (x - y).abs() <= 1e-4 * (1.0 + y.abs()))
 }
 
 fn inputs_strategy() -> impl Strategy<Value = (usize, Vec<Vec<f32>>)> {

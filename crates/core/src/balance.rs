@@ -155,9 +155,8 @@ mod tests {
         let locals = survivors_with_sizes(sizes, n);
         let cfg = OkTopkConfig::new(n as usize, sizes.iter().sum::<usize>().max(1))
             .with_data_balancing(trigger_on);
-        let report = Cluster::new(p, CostModel::aries()).run(|comm| {
-            balance_and_allgatherv(comm, &cfg, locals[comm.rank()].clone())
-        });
+        let report = Cluster::new(p, CostModel::aries())
+            .run(|comm| balance_and_allgatherv(comm, &cfg, locals[comm.rank()].clone()));
         (report.results, report.ledger)
     }
 
@@ -249,9 +248,8 @@ mod tests {
     fn single_rank_identity() {
         let g = CooGradient::from_sorted(vec![5], vec![2.0]);
         let cfg = OkTopkConfig::new(10, 1);
-        let report = Cluster::new(1, CostModel::free()).run(|comm| {
-            balance_and_allgatherv(comm, &cfg, g.clone()).global_topk
-        });
+        let report = Cluster::new(1, CostModel::free())
+            .run(|comm| balance_and_allgatherv(comm, &cfg, g.clone()).global_topk);
         assert_eq!(report.results[0], g);
     }
 }

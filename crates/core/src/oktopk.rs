@@ -87,7 +87,9 @@ impl OkTopk {
 
     /// Whether iteration `t` recomputes region boundaries.
     pub fn is_repartition_iteration(&self, t: usize) -> bool {
-        t == 1 || (t - 1).is_multiple_of(self.cfg.space_repartition_period) || self.boundaries.is_empty()
+        t == 1
+            || (t - 1).is_multiple_of(self.cfg.space_repartition_period)
+            || self.boundaries.is_empty()
     }
 
     /// One O(k) sparse allreduce of the accumulator `acc` at iteration `t` (1-based,
@@ -127,13 +129,13 @@ impl OkTopk {
         if self.is_reeval_iteration(t) {
             comm.set_phase("okt_reeval_gather");
             let all: Vec<CooGradient> = allgather_items(comm, sr.reduced_region.clone());
-            let values: Vec<f32> =
-                all.iter().flat_map(|g| g.values().iter().copied()).collect();
+            let values: Vec<f32> = all.iter().flat_map(|g| g.values().iter().copied()).collect();
             self.global_th = exact_threshold_scratch(&values, self.cfg.k, &mut self.scratch);
         }
 
         // Line 13: balance and allgatherv over the global-threshold survivors.
-        let survivors = filter_abs_ge_scratch(&sr.reduced_region, self.global_th, &mut self.scratch);
+        let survivors =
+            filter_abs_ge_scratch(&sr.reduced_region, self.global_th, &mut self.scratch);
         self.scratch.recycle(sr.reduced_region);
         let bal = balance_and_allgatherv(comm, &self.cfg, survivors);
 
@@ -181,9 +183,7 @@ mod tests {
 
     fn random_accs(p: usize, n: usize, seed: u64) -> Vec<Vec<f32>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..p)
-            .map(|_| (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
-            .collect()
+        (0..p).map(|_| (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
     }
 
     /// Serial reference with the *same* selection semantics (threshold scans with
@@ -272,8 +272,7 @@ mod tests {
             let accs2 = accs2.clone();
             Cluster::new(p, CostModel::aries())
                 .run(move |comm| {
-                    let mut okt =
-                        OkTopk::new(OkTopkConfig::new(n, k).with_periods(1000, 1000));
+                    let mut okt = OkTopk::new(OkTopkConfig::new(n, k).with_periods(1000, 1000));
                     for t in 1..=iters {
                         let acc = if t == 1 { &accs1 } else { &accs2 };
                         okt.allreduce(comm, &acc[comm.rank()], t);
@@ -307,8 +306,7 @@ mod tests {
             let accs2 = accs2.clone();
             Cluster::new(p, CostModel::aries())
                 .run(move |comm| {
-                    let mut okt =
-                        OkTopk::new(OkTopkConfig::new(n, k).with_periods(1000, 1000));
+                    let mut okt = OkTopk::new(OkTopkConfig::new(n, k).with_periods(1000, 1000));
                     for t in 1..=iters {
                         let acc = if t == 1 { &accs1 } else { &accs2 };
                         okt.allreduce(comm, &acc[comm.rank()], t);

@@ -81,11 +81,7 @@ impl OkTopkSgd {
     /// The accumulator this step would hand to the allreduce (ε + scale·grad);
     /// exposed for the ξ-measurement harness, which needs it *before* stepping.
     pub fn peek_accumulator(&self, grad: &[f32], scale: f32) -> Vec<f32> {
-        self.residual
-            .iter()
-            .zip(grad)
-            .map(|(&e, &g)| e + scale * g)
-            .collect()
+        self.residual.iter().zip(grad).map(|(&e, &g)| e + scale * g).collect()
     }
 
     /// One Ok-Topk SGD step (Algorithm 2 lines 4–7).
@@ -204,9 +200,8 @@ mod tests {
         // the test uses a 1/t schedule and asserts a 10× error reduction.
         let (p, n, k) = (4, 64, 8);
         let mut rng = StdRng::seed_from_u64(7);
-        let centers: Vec<Vec<f32>> = (0..p)
-            .map(|_| (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
-            .collect();
+        let centers: Vec<Vec<f32>> =
+            (0..p).map(|_| (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
         let mut mean = vec![0.0f32; n];
         for c in &centers {
             for (m, x) in mean.iter_mut().zip(c) {
@@ -225,20 +220,13 @@ mod tests {
                     w[i as usize] -= v;
                 }
             }
-            let err: f64 = w
-                .iter()
-                .zip(&mean)
-                .map(|(a, b)| ((a - b) as f64).powi(2))
-                .sum::<f64>()
-                .sqrt();
+            let err: f64 =
+                w.iter().zip(&mean).map(|(a, b)| ((a - b) as f64).powi(2)).sum::<f64>().sqrt();
             err
         });
         let initial: f64 = mean.iter().map(|&m| (m as f64).powi(2)).sum::<f64>().sqrt();
         for err in &report.results {
-            assert!(
-                *err < initial / 10.0,
-                "did not converge: err={err}, initial={initial}"
-            );
+            assert!(*err < initial / 10.0, "did not converge: err={err}, initial={initial}");
         }
     }
 }

@@ -70,17 +70,25 @@ pub fn split_and_reduce<C: Net>(
     let mut received = 0usize;
     while sent < send_order.len() || received < recv_order.len() {
         // Fire the next bucket of non-blocking sends… (shards move onto the
-        // wire instead of being cloned; each is sent exactly once)
+        // wire as (indexes, values) pairs — the pooled fast path with the same
+        // 2·nnz wire accounting — instead of being cloned; each is sent once)
         let send_hi = (sent + bucket).min(send_order.len());
         for &dst in &send_order[sent..send_hi] {
-            comm.send(dst, TAG_SPLIT, std::mem::take(&mut shards[dst]));
+            comm.send(dst, TAG_SPLIT, std::mem::take(&mut shards[dst]).into_parts());
         }
         sent = send_hi;
-        // …then drain and reduce the matching bucket of arrivals (this merge
-        // overlaps, in modeled time, with the next bucket's transfers).
+        // …then post the matching bucket of nonblocking receives and resolve
+        // them in arrival-schedule order: each shard drains through the
+        // reception port while the previous shard's merge — and the next
+        // bucket's transfers — proceed in modeled time.
         let recv_hi = (received + bucket).min(recv_order.len());
-        for &src in &recv_order[received..recv_hi] {
-            let got: CooGradient = comm.recv(src, TAG_SPLIT);
+        let reqs: Vec<_> = recv_order[received..recv_hi]
+            .iter()
+            .map(|&src| comm.irecv::<(Vec<u32>, Vec<f32>)>(src, TAG_SPLIT))
+            .collect();
+        for req in reqs {
+            let (idx, val) = comm.wait_recv(req);
+            let got = CooGradient::from_sorted(idx, val);
             let merged = acc.nnz() + got.nnz();
             acc.merge_sum_swap(&got, &mut spare_idx, &mut spare_val);
             scratch.recycle(got);
@@ -167,10 +175,7 @@ mod tests {
         let (p, n, k) = (16, 20_000, 2_000);
         let (_, _, t_rot) = run_split_reduce(p, n, k, 7, |c| c.with_rotation(true));
         let (_, _, t_naive) = run_split_reduce(p, n, k, 7, |c| c.with_rotation(false));
-        assert!(
-            t_rot < t_naive * 0.95,
-            "rotation {t_rot} should beat naive {t_naive}"
-        );
+        assert!(t_rot < t_naive * 0.95, "rotation {t_rot} should beat naive {t_naive}");
     }
 
     #[test]

@@ -64,9 +64,7 @@ impl SyntheticImages {
     pub fn with_shape(seed: u64, classes: usize, channels: usize, hw: usize, noise: f32) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let templates = (0..classes)
-            .map(|_| {
-                (0..channels * hw * hw).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
-            })
+            .map(|_| (0..channels * hw * hw).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
             .collect();
         Self { templates, classes, channels, hw, noise, seed }
     }
@@ -227,13 +225,7 @@ impl SyntheticMaskedLm {
     pub fn with_shape(seed: u64, vocab: usize, seq: usize, mask_prob: f64) -> Self {
         assert!(vocab >= 4);
         // Content tokens use ids 0..vocab-1; vocab-1 is [MASK].
-        Self {
-            chain: MarkovChain::new(seed, vocab - 1, 0.8),
-            vocab,
-            seq,
-            mask_prob,
-            seed,
-        }
+        Self { chain: MarkovChain::new(seed, vocab - 1, 0.8), vocab, seq, mask_prob, seed }
     }
 
     /// The reserved `[MASK]` token id (last vocabulary entry).
@@ -317,9 +309,8 @@ mod tests {
         let b = d.train_batch(0, 0, 1, 20);
         let ppi = d.pixels_per_image();
         let img = |i: usize| &b.pixels[i * ppi..(i + 1) * ppi];
-        let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-        };
+        let dist =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
         let same = dist(img(0), img(10)); // both class 0
         let diff = dist(img(0), img(5)); // class 0 vs class 5
         assert!(same < diff, "same={same} diff={diff}");
@@ -353,10 +344,8 @@ mod tests {
         for ((s, _t), c) in &counts {
             by_src.entry(*s).or_default().push(*c);
         }
-        let (_, best) = by_src
-            .iter()
-            .max_by_key(|(_, v)| v.iter().sum::<usize>())
-            .expect("some transitions");
+        let (_, best) =
+            by_src.iter().max_by_key(|(_, v)| v.iter().sum::<usize>()).expect("some transitions");
         let total: usize = best.iter().sum();
         let max = *best.iter().max().expect("non-empty");
         let frac = max as f64 / total as f64;

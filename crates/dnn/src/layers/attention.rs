@@ -44,7 +44,13 @@ impl MultiHeadAttention {
     }
 
     /// `x`: `[batch·seq, d_model]` → `(y, cache)`, same shape.
-    pub fn forward(&self, arena: &Arena, x: &[f32], batch: usize, seq: usize) -> (Vec<f32>, AttnCache) {
+    pub fn forward(
+        &self,
+        arena: &Arena,
+        x: &[f32],
+        batch: usize,
+        seq: usize,
+    ) -> (Vec<f32>, AttnCache) {
         let d = self.d_model;
         let h = self.heads;
         let dh = d / h;
@@ -77,8 +83,8 @@ impl MultiHeadAttention {
                 softmax_rows(&mut attn[abase..abase + seq * seq], seq, seq);
                 // out_i = Σ_j attn[i,j] · v_j
                 for i in 0..seq {
-                    let orow = &mut concat
-                        [(b * seq + i) * d + hd * dh..(b * seq + i) * d + (hd + 1) * dh];
+                    let orow =
+                        &mut concat[(b * seq + i) * d + hd * dh..(b * seq + i) * d + (hd + 1) * dh];
                     for j in 0..seq {
                         let a = attn[abase + i * seq + j];
                         if a == 0.0 {
@@ -124,8 +130,8 @@ impl MultiHeadAttention {
                 // dattn[i,j] = dconcat_i · v_j ; dv_j += Σ_i attn[i,j]·dconcat_i
                 let mut dattn = vec![0.0f32; seq * seq];
                 for i in 0..seq {
-                    let drow = &dconcat
-                        [(b * seq + i) * d + hd * dh..(b * seq + i) * d + (hd + 1) * dh];
+                    let drow =
+                        &dconcat[(b * seq + i) * d + hd * dh..(b * seq + i) * d + (hd + 1) * dh];
                     for j in 0..seq {
                         let vrow = &cache.v
                             [(b * seq + j) * d + hd * dh..(b * seq + j) * d + (hd + 1) * dh];

@@ -267,12 +267,22 @@ mod tests {
             xp[i] += eps;
             let mut xm = x.clone();
             xm[i] -= eps;
-            let fp: f64 =
-                conv.forward(&arena, &xp, 1, 4, 4).iter().map(|&v| 0.5 * (v as f64) * (v as f64)).sum();
-            let fm: f64 =
-                conv.forward(&arena, &xm, 1, 4, 4).iter().map(|&v| 0.5 * (v as f64) * (v as f64)).sum();
+            let fp: f64 = conv
+                .forward(&arena, &xp, 1, 4, 4)
+                .iter()
+                .map(|&v| 0.5 * (v as f64) * (v as f64))
+                .sum();
+            let fm: f64 = conv
+                .forward(&arena, &xm, 1, 4, 4)
+                .iter()
+                .map(|&v| 0.5 * (v as f64) * (v as f64))
+                .sum();
             let num = ((fp - fm) / (2.0 * eps as f64)) as f32;
-            assert!((num - dx[i]).abs() < 2e-2 * 1.0f32.max(num.abs()), "i={i}: {num} vs {}", dx[i]);
+            assert!(
+                (num - dx[i]).abs() < 2e-2 * 1.0f32.max(num.abs()),
+                "i={i}: {num} vs {}",
+                dx[i]
+            );
         }
     }
 

@@ -125,8 +125,10 @@ mod tests {
             let mut xm = x;
             xm[i] -= eps;
             let mut scratch = vec![0.0f32; 2];
-            let fp = softmax_xent(&lin.forward(&arena, &xp, 1), &targets, &mut scratch, 1, 2, 1.0).0;
-            let fm = softmax_xent(&lin.forward(&arena, &xm, 1), &targets, &mut scratch, 1, 2, 1.0).0;
+            let fp =
+                softmax_xent(&lin.forward(&arena, &xp, 1), &targets, &mut scratch, 1, 2, 1.0).0;
+            let fm =
+                softmax_xent(&lin.forward(&arena, &xm, 1), &targets, &mut scratch, 1, 2, 1.0).0;
             let num = ((fp - fm) / (2.0 * eps as f64)) as f32;
             assert!((num - dx[i]).abs() < 1e-3, "i={i}: {num} vs {}", dx[i]);
         }

@@ -47,10 +47,7 @@ pub(crate) mod gradcheck {
             let num = ((fp - fm) / (2.0 * eps as f64)) as f32;
             let a = analytic[i];
             let denom = 1.0f32.max(a.abs()).max(num.abs());
-            assert!(
-                (num - a).abs() / denom < tol,
-                "param {i}: numerical {num} vs analytic {a}"
-            );
+            assert!((num - a).abs() / denom < tol, "param {i}: numerical {num} vs analytic {a}");
         }
     }
 }

@@ -96,13 +96,17 @@ struct BlockCache {
 }
 
 impl BertLite {
-    fn forward_full(&self, batch: &SeqBatch) -> (Vec<f32>, Vec<BlockCache>, Vec<f32>, crate::layers::norm::LnCache) {
+    fn forward_full(
+        &self,
+        batch: &SeqBatch,
+    ) -> (Vec<f32>, Vec<BlockCache>, Vec<f32>, crate::layers::norm::LnCache) {
         let rows = batch.batch * batch.seq;
         let mut x = self.embed_input(batch);
         let mut caches = Vec::with_capacity(self.blocks.len());
         for blk in &self.blocks {
             let (ln1_out, ln1_cache) = blk.ln1.forward(&self.arena, &x, rows);
-            let (attn_out, attn_cache) = blk.attn.forward(&self.arena, &ln1_out, batch.batch, batch.seq);
+            let (attn_out, attn_cache) =
+                blk.attn.forward(&self.arena, &ln1_out, batch.batch, batch.seq);
             let mut x_mid = x.clone();
             for (a, b) in x_mid.iter_mut().zip(&attn_out) {
                 *a += b;

@@ -32,7 +32,14 @@ impl VggLite {
     }
 
     /// Fully parameterized constructor (channel widths, FC width, classes, image size).
-    pub fn with_width(seed: u64, c1: usize, c2: usize, fc: usize, classes: usize, hw: usize) -> Self {
+    pub fn with_width(
+        seed: u64,
+        c1: usize,
+        c2: usize,
+        fc: usize,
+        classes: usize,
+        hw: usize,
+    ) -> Self {
         assert!(hw.is_multiple_of(4));
         let mut rng = StdRng::seed_from_u64(seed);
         let mut arena = Arena::new();
@@ -45,10 +52,7 @@ impl VggLite {
     }
 
     /// Forward pass returning logits and (optionally) the caches for backward.
-    fn forward_full(
-        &self,
-        batch: &ImageBatch,
-    ) -> (Vec<f32>, [Vec<f32>; 5], [Vec<u32>; 2]) {
+    fn forward_full(&self, batch: &ImageBatch) -> (Vec<f32>, [Vec<f32>; 5], [Vec<u32>; 2]) {
         let b = batch.batch;
         let hw = self.hw;
         let mut a1 = self.conv1.forward(&self.arena, &batch.pixels, b, hw, hw);

@@ -78,7 +78,14 @@ fn matmul_acc_rows(x: &[f32], w: &[f32], out: &mut [f32], rows: usize, inner: us
 
 /// `out[b, i] += Σⱼ dy[b, j] · w[i, j]` — gradient w.r.t. the input of a matmul
 /// (dy: `[rows, cols]`, w: `[inner, cols]`, out: `[rows, inner]`).
-pub fn matmul_acc_wt(dy: &[f32], w: &[f32], out: &mut [f32], rows: usize, inner: usize, cols: usize) {
+pub fn matmul_acc_wt(
+    dy: &[f32],
+    w: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    inner: usize,
+    cols: usize,
+) {
     matmul_acc_wt_with_threads(dy, w, out, rows, inner, cols, matmul_threads(rows, inner, cols));
 }
 
@@ -107,7 +114,14 @@ pub fn matmul_acc_wt_with_threads(
 }
 
 /// Serial row-range worker for [`matmul_acc_wt`].
-fn matmul_acc_wt_rows(dy: &[f32], w: &[f32], out: &mut [f32], rows: usize, inner: usize, cols: usize) {
+fn matmul_acc_wt_rows(
+    dy: &[f32],
+    w: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    inner: usize,
+    cols: usize,
+) {
     for b in 0..rows {
         let dyb = &dy[b * cols..(b + 1) * cols];
         let ob = &mut out[b * inner..(b + 1) * inner];
@@ -123,7 +137,14 @@ fn matmul_acc_wt_rows(dy: &[f32], w: &[f32], out: &mut [f32], rows: usize, inner
 }
 
 /// `dw[i, j] += Σ_b x[b, i] · dy[b, j]` — gradient w.r.t. the weights of a matmul.
-pub fn matmul_acc_xt(x: &[f32], dy: &[f32], dw: &mut [f32], rows: usize, inner: usize, cols: usize) {
+pub fn matmul_acc_xt(
+    x: &[f32],
+    dy: &[f32],
+    dw: &mut [f32],
+    rows: usize,
+    inner: usize,
+    cols: usize,
+) {
     matmul_acc_xt_with_threads(x, dy, dw, rows, inner, cols, matmul_threads(rows, inner, cols));
 }
 
@@ -282,12 +303,8 @@ pub fn softmax_xent(
         let t = targets[b] as usize;
         let prob_t = (dl[t] * inv).max(1e-12);
         loss += -(prob_t as f64).ln();
-        let argmax = row
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
+        let argmax =
+            row.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap_or(0);
         if argmax == t {
             correct += 1;
         }

@@ -96,8 +96,8 @@ impl Adam {
             let g = grads[i];
             self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
             self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
-            params[i] -=
-                alpha * self.m[i] / (self.v[i].sqrt() + self.eps) + self.lr * self.weight_decay * params[i];
+            params[i] -= alpha * self.m[i] / (self.v[i].sqrt() + self.eps)
+                + self.lr * self.weight_decay * params[i];
         }
     }
 
@@ -126,8 +126,8 @@ impl Adam {
             let i = iu as usize;
             self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
             self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
-            params[i] -=
-                alpha * self.m[i] / (self.v[i].sqrt() + self.eps) + self.lr * self.weight_decay * params[i];
+            params[i] -= alpha * self.m[i] / (self.v[i].sqrt() + self.eps)
+                + self.lr * self.weight_decay * params[i];
         }
     }
 }

@@ -8,9 +8,7 @@
 //! plausible core count. Every parallel call goes through the persistent
 //! okpar worker pool.
 
-use dnn::ops::{
-    matmul_acc_with_threads, matmul_acc_wt_with_threads, matmul_acc_xt_with_threads,
-};
+use dnn::ops::{matmul_acc_with_threads, matmul_acc_wt_with_threads, matmul_acc_xt_with_threads};
 use proptest::prelude::*;
 
 const THREADS: [usize; 6] = [1, 2, 4, 7, 8, 17];
@@ -100,11 +98,15 @@ fn materialize(la: usize, lb: usize, lout: usize, seed: u64) -> (Vec<f32>, Vec<f
     let gen = |len: usize, salt: u64| -> Vec<f32> {
         (0..len)
             .map(|i| {
-                let v = (((i as u64).wrapping_mul(2654435761).wrapping_add(seed * 97 + salt)
-                    % 1000) as f32
+                let v = (((i as u64).wrapping_mul(2654435761).wrapping_add(seed * 97 + salt) % 1000)
+                    as f32
                     / 500.0)
                     - 1.0;
-                if v.abs() < 0.2 { 0.0 } else { v }
+                if v.abs() < 0.2 {
+                    0.0
+                } else {
+                    v
+                }
             })
             .collect()
     };

@@ -8,8 +8,6 @@ use dnn::optim::{Adam, Sgd};
 use dnn::Arena;
 use proptest::prelude::*;
 use rand::prelude::*;
-// proptest's prelude globs its own (newer) rand traits; pin the ones we call.
-use rand::Rng as _;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]

@@ -80,8 +80,7 @@ impl Cluster {
     {
         let ledger = Arc::new(Ledger::new());
         let barrier = Arc::new(BarrierState::new());
-        let recv_deadline =
-            self.recv_timeout.unwrap_or_else(crate::comm::default_recv_deadline);
+        let recv_deadline = self.recv_timeout.unwrap_or_else(crate::comm::default_recv_deadline);
         let (senders, receivers): (Vec<_>, Vec<_>) =
             (0..self.size).map(|_| unbounded::<Envelope>()).unzip();
 
@@ -219,9 +218,8 @@ mod tests {
 
     #[test]
     fn max_across_agrees_on_maximum() {
-        let report = Cluster::new(3, CostModel::free()).run(|comm| {
-            comm.max_across(comm.rank() as f64 * 2.0)
-        });
+        let report = Cluster::new(3, CostModel::free())
+            .run(|comm| comm.max_across(comm.rank() as f64 * 2.0));
         assert_eq!(report.results, vec![4.0, 4.0, 4.0]);
     }
 

@@ -1,8 +1,9 @@
 //! Per-rank communicator: typed point-to-point messaging over a modeled network.
 
 use crate::cost::{CostModel, WireSize};
-use crate::envelope::Envelope;
+use crate::envelope::{Envelope, Payload};
 use crate::ledger::Ledger;
+use crate::request::{RecvHandle, SendHandle};
 use crate::trace::{TraceEvent, TraceKind};
 use crossbeam_channel::{Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
@@ -18,26 +19,32 @@ pub type Tag = u64;
 /// algorithm bugs in tests.
 const RECV_DEADLOCK_DEFAULT_SECS: u64 = 180;
 
+/// Most recycled buffers a rank keeps per element type. Sized to cover a full
+/// bucket of the bucketed collectives (send a bucket, then drain a bucket):
+/// the drain recycles up to a bucket's worth of storage that the next bucket's
+/// sends take back out, so buckets up to this deep stay allocation-free in
+/// steady state. The pool is a cap, not a preallocation — it only ever holds
+/// buffers a `recv` actually returned.
+const MAX_POOL: usize = 32;
+
 /// The recv-deadlock deadline in effect when a [`crate::Cluster`] does not set one
 /// explicitly: `SIMNET_RECV_DEADLOCK_SECS` (positive integer seconds, read once at
 /// first use), else [`RECV_DEADLOCK_DEFAULT_SECS`]. Long sweeps on loaded machines
 /// raise it; tests that *expect* a deadlock lower it to fail fast.
 pub(crate) fn default_recv_deadline() -> Duration {
     static SECS: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
-    Duration::from_secs(*SECS.get_or_init(|| {
-        match std::env::var("SIMNET_RECV_DEADLOCK_SECS") {
-            Ok(raw) => match raw.trim().parse::<u64>() {
-                Ok(s) if s > 0 => s,
-                _ => {
-                    eprintln!(
-                        "simnet: ignoring invalid SIMNET_RECV_DEADLOCK_SECS={raw:?} \
+    Duration::from_secs(*SECS.get_or_init(|| match std::env::var("SIMNET_RECV_DEADLOCK_SECS") {
+        Ok(raw) => match raw.trim().parse::<u64>() {
+            Ok(s) if s > 0 => s,
+            _ => {
+                eprintln!(
+                    "simnet: ignoring invalid SIMNET_RECV_DEADLOCK_SECS={raw:?} \
                          (want a positive integer of seconds)"
-                    );
-                    RECV_DEADLOCK_DEFAULT_SECS
-                }
-            },
-            Err(_) => RECV_DEADLOCK_DEFAULT_SECS,
-        }
+                );
+                RECV_DEADLOCK_DEFAULT_SECS
+            }
+        },
+        Err(_) => RECV_DEADLOCK_DEFAULT_SECS,
     }))
 }
 
@@ -97,6 +104,17 @@ impl BarrierState {
     }
 }
 
+/// Per-rank free-lists of recycled message buffers.
+///
+/// Steady-state collectives cycle the same few chunks: a rank sends a buffer,
+/// receives one of the same size from a peer, and recycles it for the next
+/// send. Pooling turns that cycle allocation-free after warmup.
+#[derive(Default)]
+struct BufPool {
+    f32s: Vec<Vec<f32>>,
+    u32s: Vec<Vec<u32>>,
+}
+
 /// A rank's handle on the simulated cluster.
 ///
 /// Created by [`crate::Cluster::run`]; one `Comm` lives on each rank thread. All
@@ -123,6 +141,7 @@ pub struct Comm {
     senders: Vec<Sender<Envelope>>,
     inbox: Receiver<Envelope>,
     mailbox: HashMap<(usize, Tag), VecDeque<Envelope>>,
+    pool: BufPool,
     barrier: Arc<BarrierState>,
     /// Wall-clock deadline after which a blocking `recv` declares deadlock.
     recv_deadline: Duration,
@@ -154,6 +173,7 @@ impl Comm {
             senders,
             inbox,
             mailbox: HashMap::new(),
+            pool: BufPool::default(),
             barrier,
             recv_deadline,
         }
@@ -204,7 +224,7 @@ impl Comm {
 
     fn record(&mut self, start: f64, end: f64, kind: TraceKind) {
         if let Some(t) = self.trace.as_mut() {
-            t.push(TraceEvent { start, end, kind });
+            t.push(TraceEvent::new(start, end, kind));
         }
     }
 
@@ -229,17 +249,54 @@ impl Comm {
         self.now = self.now.max(t);
     }
 
-    /// Non-blocking typed send to `dst`.
-    ///
-    /// Charges the injection port for `β·L` and stamps the head arrival time
-    /// `α` after injection start; the sender's own clock does not advance
-    /// (DMA-style injection), but [`local_finish_time`](Self::local_finish_time)
-    /// and [`barrier`](Self::barrier) account for the port occupancy.
-    pub fn send<T: WireSize + Send + 'static>(&mut self, dst: usize, tag: Tag, value: T) {
+    /// Take a cleared `f32` buffer with capacity ≥ `cap` from this rank's pool,
+    /// allocating only if the free-list is empty. Pair with
+    /// [`recycle_f32`](Self::recycle_f32) to make steady-state messaging
+    /// allocation-free.
+    pub fn take_f32(&mut self, cap: usize) -> Vec<f32> {
+        match self.pool.f32s.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.reserve(cap);
+                buf
+            }
+            None => Vec::with_capacity(cap),
+        }
+    }
+
+    /// Return a no-longer-needed `f32` buffer (e.g. one a `recv` produced) to
+    /// this rank's free-list; keeps at most a handful, drops the rest.
+    pub fn recycle_f32(&mut self, buf: Vec<f32>) {
+        if self.pool.f32s.len() < MAX_POOL && buf.capacity() > 0 {
+            self.pool.f32s.push(buf);
+        }
+    }
+
+    /// Take a cleared `u32` buffer with capacity ≥ `cap` from this rank's pool.
+    pub fn take_u32(&mut self, cap: usize) -> Vec<u32> {
+        match self.pool.u32s.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.reserve(cap);
+                buf
+            }
+            None => Vec::with_capacity(cap),
+        }
+    }
+
+    /// Return a no-longer-needed `u32` buffer to this rank's free-list.
+    pub fn recycle_u32(&mut self, buf: Vec<u32>) {
+        if self.pool.u32s.len() < MAX_POOL && buf.capacity() > 0 {
+            self.pool.u32s.push(buf);
+        }
+    }
+
+    /// Charge the injection port for a message of `elems` elements to `dst` and
+    /// return its head-arrival time at the receiver.
+    fn stamp_send(&mut self, dst: usize, elems: u64) -> f64 {
         assert!(dst < self.size, "send to rank {dst} out of range (size {})", self.size);
         assert_ne!(dst, self.rank, "self-sends are not modeled; keep local data local");
-        let elems = value.wire_elems();
-        let head_arrival = if self.free_mode {
+        if self.free_mode {
             // Instrumentation traffic: deliver immediately, charge and log nothing.
             f64::NEG_INFINITY
         } else {
@@ -250,19 +307,93 @@ impl Comm {
             let inj_end = self.inj_free;
             self.record(inj_start, inj_end, TraceKind::Send { dst, elems });
             inj_start + alpha
-        };
-        let env = Envelope {
-            src: self.rank,
-            tag,
-            head_arrival,
-            elems,
-            payload: Box::new(value),
-        };
+        }
+    }
+
+    fn post(&mut self, dst: usize, tag: Tag, head_arrival: f64, elems: u64, payload: Payload) {
+        let env = Envelope { src: self.rank, tag, head_arrival, elems, payload };
         // The channel is unbounded; a send can only fail if the receiver thread
         // panicked, in which case propagating the panic here is the right outcome.
         self.senders[dst]
             .send(env)
             .unwrap_or_else(|_| panic!("rank {dst} hung up (its thread panicked)"));
+    }
+
+    /// Non-blocking typed send to `dst`.
+    ///
+    /// Charges the injection port for `β·L` and stamps the head arrival time
+    /// `α` after injection start; the sender's own clock does not advance
+    /// (DMA-style injection), but [`local_finish_time`](Self::local_finish_time)
+    /// and [`barrier`](Self::barrier) account for the port occupancy.
+    pub fn send<T: WireSize + Send + 'static>(&mut self, dst: usize, tag: Tag, value: T) {
+        let elems = value.wire_elems();
+        let head_arrival = self.stamp_send(dst, elems);
+        self.post(dst, tag, head_arrival, elems, Payload::from_value(value));
+    }
+
+    /// [`send`](Self::send) returning a handle that records when the message
+    /// has fully left the injection port. See [`crate::request`] for the
+    /// request semantics.
+    pub fn isend<T: WireSize + Send + 'static>(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        value: T,
+    ) -> SendHandle {
+        self.send(dst, tag, value);
+        SendHandle::new(if self.free_mode { self.now } else { self.inj_free })
+    }
+
+    /// Send a reference-counted payload: fan-out senders (broadcast relays,
+    /// allgather rings) clone the `Arc`, not the buffer, so one allocation
+    /// serves every destination. Wire cost is charged per message as usual.
+    /// The receiver must use [`recv_shared`](Self::recv_shared).
+    pub fn send_shared<T: WireSize + Send + Sync + 'static>(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        value: Arc<T>,
+    ) {
+        let elems = value.wire_elems();
+        let head_arrival = self.stamp_send(dst, elems);
+        self.post(dst, tag, head_arrival, elems, Payload::Shared(value));
+    }
+
+    /// Complete the reception of a drained envelope: serialize on the reception
+    /// port, advance the clock, and trace the drain interval.
+    fn complete_reception(&mut self, src: usize, head_arrival: f64, elems: u64) {
+        if self.free_mode {
+            return;
+        }
+        let (_, beta) = self.cost.link(src, self.rank);
+        let rcv_start = head_arrival.max(self.rcv_free);
+        let done = rcv_start + beta * elems as f64;
+        self.rcv_free = done;
+        self.now = self.now.max(done);
+        // Clamp the traced pair consistently: a negative head_arrival at t≈0
+        // (free-mode sender, zero-α model) must not produce start > end.
+        let start = rcv_start.max(0.0).min(done);
+        self.record(start, done.max(start), TraceKind::Recv { src, elems });
+    }
+
+    /// Modeled completion time this envelope *would* have if resolved now,
+    /// without committing the port.
+    fn reception_done_time(&self, src: usize, head_arrival: f64, elems: u64) -> f64 {
+        if self.free_mode {
+            return f64::NEG_INFINITY;
+        }
+        let (_, beta) = self.cost.link(src, self.rank);
+        head_arrival.max(self.rcv_free) + beta * elems as f64
+    }
+
+    fn unwrap_payload<T: Send + 'static>(&self, env: Envelope, src: usize, tag: Tag) -> T {
+        env.payload.into_value::<T>().unwrap_or_else(|found| {
+            panic!(
+                "rank {}: type mismatch receiving from {src} tag {tag} (expected {}, found {found})",
+                self.rank,
+                std::any::type_name::<T>()
+            )
+        })
     }
 
     /// Blocking typed receive of the next message from `src` with `tag`.
@@ -271,27 +402,69 @@ impl Comm {
     /// rank's reception port: `max(head_arrival, port_free) + β·L`.
     pub fn recv<T: Send + 'static>(&mut self, src: usize, tag: Tag) -> T {
         let env = self.take_matching(src, tag);
-        if !self.free_mode {
-            let (_, beta) = self.cost.link(src, self.rank);
-            let rcv_start = env.head_arrival.max(self.rcv_free);
-            let done = rcv_start + beta * env.elems as f64;
-            self.rcv_free = done;
-            self.now = self.now.max(done);
-            self.record(rcv_start.max(0.0), done, TraceKind::Recv { src, elems: env.elems });
-        }
-        *env.payload.downcast::<T>().unwrap_or_else(|_| {
+        self.complete_reception(src, env.head_arrival, env.elems);
+        self.unwrap_payload(env, src, tag)
+    }
+
+    /// Blocking receive of a payload sent with [`send_shared`](Self::send_shared).
+    /// Timing semantics are identical to [`recv`](Self::recv).
+    pub fn recv_shared<T: Send + Sync + 'static>(&mut self, src: usize, tag: Tag) -> Arc<T> {
+        let env = self.take_matching(src, tag);
+        self.complete_reception(src, env.head_arrival, env.elems);
+        env.payload.into_shared::<T>().unwrap_or_else(|found| {
             panic!(
-                "rank {}: type mismatch receiving from {} tag {} (expected {})",
+                "rank {}: type mismatch receiving shared from {src} tag {tag} \
+                 (expected Arc<{}>, found {found})",
                 self.rank,
-                src,
-                tag,
                 std::any::type_name::<T>()
             )
         })
     }
 
+    /// Post a nonblocking receive. Touches no modeled state; the reception port
+    /// is charged when the handle is resolved (see [`crate::request`]).
+    pub fn irecv<T: Send + 'static>(&mut self, src: usize, tag: Tag) -> RecvHandle<T> {
+        RecvHandle::new(src, tag)
+    }
+
+    /// Resolve a posted receive, blocking until the message is available.
+    /// Bit-identical in modeled time to calling [`recv`](Self::recv) here.
+    pub fn wait_recv<T: Send + 'static>(&mut self, req: RecvHandle<T>) -> T {
+        self.recv(req.src(), req.tag())
+    }
+
+    /// Resolve a posted receive only if the message has fully drained by this
+    /// rank's current virtual time; otherwise return the handle unresolved and
+    /// leave all modeled state untouched.
+    ///
+    /// May block wall-clock waiting for the matching envelope to appear on the
+    /// real channel — wall-clock is invisible in virtual time, and blocking is
+    /// what keeps the outcome deterministic: the decision depends only on
+    /// modeled quantities (`head_arrival`, port state, `now`), never on thread
+    /// scheduling.
+    pub fn test_recv<T: Send + 'static>(&mut self, req: RecvHandle<T>) -> Result<T, RecvHandle<T>> {
+        let (src, tag) = (req.src(), req.tag());
+        let env = self.take_matching(src, tag);
+        if self.reception_done_time(src, env.head_arrival, env.elems) <= self.now {
+            self.complete_reception(src, env.head_arrival, env.elems);
+            Ok(self.unwrap_payload(env, src, tag))
+        } else {
+            // Not drained yet at this rank's virtual time: put the envelope
+            // back at the front so matching order is preserved.
+            self.mailbox.entry((src, tag)).or_default().push_front(env);
+            Err(req)
+        }
+    }
+
     /// Combined send-then-receive, the idiom of ring and recursive-doubling steps.
-    pub fn sendrecv<S, R>(&mut self, dst: usize, send_tag: Tag, value: S, src: usize, recv_tag: Tag) -> R
+    pub fn sendrecv<S, R>(
+        &mut self,
+        dst: usize,
+        send_tag: Tag,
+        value: S,
+        src: usize,
+        recv_tag: Tag,
+    ) -> R
     where
         S: WireSize + Send + 'static,
         R: Send + 'static,
@@ -300,9 +473,21 @@ impl Comm {
         self.recv(src, recv_tag)
     }
 
+    /// Number of `(src, tag)` queues currently stashed in the out-of-order
+    /// mailbox. Drained queues are removed, so this returns to zero once all
+    /// early arrivals have been received (useful for leak regression tests).
+    pub fn pending_mailbox_entries(&self) -> usize {
+        self.mailbox.len()
+    }
+
     fn take_matching(&mut self, src: usize, tag: Tag) -> Envelope {
         if let Some(queue) = self.mailbox.get_mut(&(src, tag)) {
             if let Some(env) = queue.pop_front() {
+                // Remove drained-empty queues so the mailbox cannot grow
+                // monotonically with every (src, tag) pair ever stashed.
+                if queue.is_empty() {
+                    self.mailbox.remove(&(src, tag));
+                }
                 return env;
             }
         }

@@ -142,6 +142,12 @@ impl<T: WireSize> WireSize for Vec<T> {
     }
 }
 
+impl<T: WireSize + ?Sized> WireSize for std::sync::Arc<T> {
+    fn wire_elems(&self) -> u64 {
+        (**self).wire_elems()
+    }
+}
+
 impl<T: WireSize> WireSize for Option<T> {
     fn wire_elems(&self) -> u64 {
         match self {

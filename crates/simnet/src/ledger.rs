@@ -61,20 +61,12 @@ pub struct LedgerSnapshot {
 impl LedgerSnapshot {
     /// Total elements sent by `rank` across all phases.
     pub fn rank_elements(&self, rank: usize) -> u64 {
-        self.cells
-            .iter()
-            .filter(|((r, _), _)| *r == rank)
-            .map(|(_, v)| v.elements)
-            .sum()
+        self.cells.iter().filter(|((r, _), _)| *r == rank).map(|(_, v)| v.elements).sum()
     }
 
     /// Total elements sent by all ranks in `phase`.
     pub fn phase_elements(&self, phase: &str) -> u64 {
-        self.cells
-            .iter()
-            .filter(|((_, p), _)| *p == phase)
-            .map(|(_, v)| v.elements)
-            .sum()
+        self.cells.iter().filter(|((_, p), _)| *p == phase).map(|(_, v)| v.elements).sum()
     }
 
     /// Elements sent by `rank` within `phase`.

@@ -50,12 +50,14 @@ mod cost;
 mod envelope;
 mod ledger;
 pub mod net;
+pub mod request;
 pub mod trace;
 
 pub use cluster::{Cluster, SimReport};
 pub use comm::{Comm, Tag};
-pub use cost::{CostModel, WireSize};
 pub use cost::Hierarchy;
-pub use net::{GroupComm, Net};
+pub use cost::{CostModel, WireSize};
 pub use ledger::{Ledger, LedgerSnapshot, PhaseVolume};
+pub use net::{GroupComm, Net};
+pub use request::{RecvHandle, SendHandle};
 pub use trace::{render_timeline, TraceEvent, TraceKind};

@@ -9,6 +9,8 @@
 
 use crate::comm::{Comm, Tag};
 use crate::cost::WireSize;
+use crate::request::{RecvHandle, SendHandle};
+use std::sync::Arc;
 
 /// The communicator interface all collectives are generic over.
 ///
@@ -37,7 +39,14 @@ pub trait Net {
     fn barrier(&mut self);
 
     /// Combined send-then-receive (ring / recursive-doubling idiom).
-    fn sendrecv<S, R>(&mut self, dst: usize, send_tag: Tag, value: S, src: usize, recv_tag: Tag) -> R
+    fn sendrecv<S, R>(
+        &mut self,
+        dst: usize,
+        send_tag: Tag,
+        value: S,
+        src: usize,
+        recv_tag: Tag,
+    ) -> R
     where
         S: WireSize + Send + 'static,
         R: Send + 'static,
@@ -45,6 +54,67 @@ pub trait Net {
         self.send(dst, send_tag, value);
         self.recv(src, recv_tag)
     }
+
+    /// Nonblocking send; the handle records when the message has fully left
+    /// the injection port (see [`crate::request`]).
+    fn isend<T: WireSize + Send + 'static>(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        value: T,
+    ) -> SendHandle {
+        self.send(dst, tag, value);
+        SendHandle::new(self.now())
+    }
+
+    /// Post a nonblocking receive; resolve with [`wait_recv`](Net::wait_recv)
+    /// or [`test_recv`](Net::test_recv). Touches no modeled state.
+    fn irecv<T: Send + 'static>(&mut self, src: usize, tag: Tag) -> RecvHandle<T> {
+        RecvHandle::new(src, tag)
+    }
+
+    /// Resolve a posted receive, blocking until the message is available.
+    /// Bit-identical in modeled time to a blocking `recv` issued here.
+    fn wait_recv<T: Send + 'static>(&mut self, req: RecvHandle<T>) -> T {
+        self.recv(req.src(), req.tag())
+    }
+
+    /// Resolve a posted receive only if it has fully drained by this rank's
+    /// current virtual time; otherwise return the handle with modeled state
+    /// untouched.
+    fn test_recv<T: Send + 'static>(&mut self, req: RecvHandle<T>) -> Result<T, RecvHandle<T>> {
+        Ok(self.wait_recv(req))
+    }
+
+    /// Send a reference-counted payload (fan-out senders clone the `Arc`, not
+    /// the buffer); pair with [`recv_shared`](Net::recv_shared).
+    fn send_shared<T: WireSize + Send + Sync + 'static>(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        value: Arc<T>,
+    );
+
+    /// Receive a payload sent with [`send_shared`](Net::send_shared); timing
+    /// semantics identical to `recv`.
+    fn recv_shared<T: Send + Sync + 'static>(&mut self, src: usize, tag: Tag) -> Arc<T>;
+
+    /// Take a cleared `f32` buffer with capacity ≥ `cap` from the rank's
+    /// recycled-buffer pool (see [`Comm::take_f32`]).
+    fn take_f32(&mut self, cap: usize) -> Vec<f32> {
+        Vec::with_capacity(cap)
+    }
+
+    /// Return an `f32` buffer to the rank's pool.
+    fn recycle_f32(&mut self, _buf: Vec<f32>) {}
+
+    /// Take a cleared `u32` buffer with capacity ≥ `cap` from the rank's pool.
+    fn take_u32(&mut self, cap: usize) -> Vec<u32> {
+        Vec::with_capacity(cap)
+    }
+
+    /// Return a `u32` buffer to the rank's pool.
+    fn recycle_u32(&mut self, _buf: Vec<u32>) {}
 }
 
 impl Net for Comm {
@@ -87,6 +157,52 @@ impl Net for Comm {
     fn barrier(&mut self) {
         Comm::barrier(self)
     }
+
+    fn isend<T: WireSize + Send + 'static>(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        value: T,
+    ) -> SendHandle {
+        Comm::isend(self, dst, tag, value)
+    }
+
+    fn wait_recv<T: Send + 'static>(&mut self, req: RecvHandle<T>) -> T {
+        Comm::wait_recv(self, req)
+    }
+
+    fn test_recv<T: Send + 'static>(&mut self, req: RecvHandle<T>) -> Result<T, RecvHandle<T>> {
+        Comm::test_recv(self, req)
+    }
+
+    fn send_shared<T: WireSize + Send + Sync + 'static>(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        value: Arc<T>,
+    ) {
+        Comm::send_shared(self, dst, tag, value)
+    }
+
+    fn recv_shared<T: Send + Sync + 'static>(&mut self, src: usize, tag: Tag) -> Arc<T> {
+        Comm::recv_shared(self, src, tag)
+    }
+
+    fn take_f32(&mut self, cap: usize) -> Vec<f32> {
+        Comm::take_f32(self, cap)
+    }
+
+    fn recycle_f32(&mut self, buf: Vec<f32>) {
+        Comm::recycle_f32(self, buf)
+    }
+
+    fn take_u32(&mut self, cap: usize) -> Vec<u32> {
+        Comm::take_u32(self, cap)
+    }
+
+    fn recycle_u32(&mut self, buf: Vec<u32>) {
+        Comm::recycle_u32(self, buf)
+    }
 }
 
 /// A sub-communicator: a subset of the cluster's ranks, renumbered `0..group_size`.
@@ -115,10 +231,7 @@ impl<'a> GroupComm<'a> {
             .iter()
             .position(|&r| r == me)
             .expect("calling rank must be a member of its own group");
-        assert!(
-            members.iter().all(|&r| r < Comm::size(comm)),
-            "group member out of cluster range"
-        );
+        assert!(members.iter().all(|&r| r < Comm::size(comm)), "group member out of cluster range");
         Self { comm, members, my_index, salt: (group_id as Tag) << 48 }
     }
 
@@ -170,6 +283,56 @@ impl Net for GroupComm<'_> {
 
     fn set_free_mode(&mut self, on: bool) {
         self.comm.set_free_mode(on)
+    }
+
+    fn isend<T: WireSize + Send + 'static>(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        value: T,
+    ) -> SendHandle {
+        let global_dst = self.members[dst];
+        self.comm.isend(global_dst, tag | self.salt, value)
+    }
+
+    // `irecv`/`wait_recv` use the trait defaults: the handle carries the
+    // group-local (src, tag) and resolution goes through `self.recv`, which
+    // translates the rank and salts the tag. `test_recv` must translate
+    // explicitly because it resolves against the global communicator.
+    fn test_recv<T: Send + 'static>(&mut self, req: RecvHandle<T>) -> Result<T, RecvHandle<T>> {
+        let global = RecvHandle::new(self.members[req.src()], req.tag() | self.salt);
+        self.comm.test_recv(global).map_err(|_| req)
+    }
+
+    fn send_shared<T: WireSize + Send + Sync + 'static>(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        value: Arc<T>,
+    ) {
+        let global_dst = self.members[dst];
+        self.comm.send_shared(global_dst, tag | self.salt, value)
+    }
+
+    fn recv_shared<T: Send + Sync + 'static>(&mut self, src: usize, tag: Tag) -> Arc<T> {
+        let global_src = self.members[src];
+        self.comm.recv_shared(global_src, tag | self.salt)
+    }
+
+    fn take_f32(&mut self, cap: usize) -> Vec<f32> {
+        self.comm.take_f32(cap)
+    }
+
+    fn recycle_f32(&mut self, buf: Vec<f32>) {
+        self.comm.recycle_f32(buf)
+    }
+
+    fn take_u32(&mut self, cap: usize) -> Vec<u32> {
+        self.comm.take_u32(cap)
+    }
+
+    fn recycle_u32(&mut self, buf: Vec<u32>) {
+        self.comm.recycle_u32(buf)
     }
 
     fn barrier(&mut self) {

@@ -40,6 +40,16 @@ pub struct TraceEvent {
 }
 
 impl TraceEvent {
+    /// Construct an event, checking (in debug builds) that the interval is
+    /// well-formed: recording code must clamp `start` and `end` consistently.
+    pub fn new(start: f64, end: f64, kind: TraceKind) -> Self {
+        debug_assert!(
+            start <= end,
+            "trace event with start {start} > end {end} ({kind:?}): clamp the pair consistently"
+        );
+        Self { start, end, kind }
+    }
+
     fn glyph(&self) -> char {
         match self.kind {
             TraceKind::Send { .. } => 'S',
@@ -54,11 +64,8 @@ impl TraceEvent {
 /// `[0, t_max]`. Overlapping events on one rank keep the later glyph; idle time
 /// renders as `·`.
 pub fn render_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
-    let t_max = traces
-        .iter()
-        .flat_map(|t| t.iter().map(|e| e.end))
-        .fold(0.0f64, f64::max)
-        .max(1e-12);
+    let t_max =
+        traces.iter().flat_map(|t| t.iter().map(|e| e.end)).fold(0.0f64, f64::max).max(1e-12);
     let mut out = String::new();
     out.push_str(&format!(
         "timeline 0 .. {:.3e} s  (S=send R=recv C=compute B=barrier ·=idle)\n",

@@ -26,7 +26,10 @@ impl CooGradient {
     /// In debug builds, panics if the invariant does not hold.
     pub fn from_sorted(indexes: Vec<u32>, values: Vec<f32>) -> Self {
         debug_assert_eq!(indexes.len(), values.len());
-        debug_assert!(indexes.windows(2).all(|w| w[0] < w[1]), "indexes must be strictly increasing");
+        debug_assert!(
+            indexes.windows(2).all(|w| w[0] < w[1]),
+            "indexes must be strictly increasing"
+        );
         Self { indexes, values }
     }
 
@@ -131,7 +134,12 @@ impl CooGradient {
     /// ponging one spare pair against the accumulator means a whole bucket of
     /// incoming shards reduces without touching the heap once the spare capacity
     /// covers the steady-state union size.
-    pub fn merge_sum_swap(&mut self, other: &Self, spare_idx: &mut Vec<u32>, spare_val: &mut Vec<f32>) {
+    pub fn merge_sum_swap(
+        &mut self,
+        other: &Self,
+        spare_idx: &mut Vec<u32>,
+        spare_val: &mut Vec<f32>,
+    ) {
         if other.is_empty() {
             return;
         }

@@ -61,10 +61,8 @@ pub fn balanced_boundaries(topk_indexes: &[u32], n: u32, p: usize) -> Vec<f64> {
 pub fn consensus_boundaries(sum: &[f64], workers: usize, n: u32) -> Vec<u32> {
     assert!(workers >= 1 && sum.len() >= 2);
     let p = sum.len() - 1;
-    let mut b: Vec<u32> = sum
-        .iter()
-        .map(|&s| ((s / workers as f64).round().clamp(0.0, n as f64)) as u32)
-        .collect();
+    let mut b: Vec<u32> =
+        sum.iter().map(|&s| ((s / workers as f64).round().clamp(0.0, n as f64)) as u32).collect();
     b[0] = 0;
     b[p] = n;
     for j in 1..=p {

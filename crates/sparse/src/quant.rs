@@ -71,7 +71,13 @@ impl QuantizedCoo {
                 let q: Vec<i8> = g
                     .values()
                     .iter()
-                    .map(|&v| if scale > 0.0 { (v / scale).round().clamp(-127.0, 127.0) as i8 } else { 0 })
+                    .map(|&v| {
+                        if scale > 0.0 {
+                            (v / scale).round().clamp(-127.0, 127.0) as i8
+                        } else {
+                            0
+                        }
+                    })
                     .collect();
                 (scale, Vec::new(), q)
             }
@@ -112,9 +118,8 @@ mod tests {
 
     fn random_coo(k: usize, seed: u64) -> CooGradient {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut pairs: Vec<(u32, f32)> = (0..k)
-            .map(|i| (i as u32 * 7, rng.gen_range(-2.0f32..2.0)))
-            .collect();
+        let mut pairs: Vec<(u32, f32)> =
+            (0..k).map(|i| (i as u32 * 7, rng.gen_range(-2.0f32..2.0))).collect();
         pairs.retain(|&(_, v)| v != 0.0);
         CooGradient::from_unsorted(pairs)
     }

@@ -119,7 +119,11 @@ fn auto_threads(len: usize) -> usize {
 
 /// [`crate::select::select_ge`] on pooled buffers, auto-parallel
 /// (`OKTOPK_THREADS`). Allocation-free at steady state on the serial path.
-pub fn select_ge_scratch(dense: &[f32], threshold: f32, scratch: &mut SelectScratch) -> CooGradient {
+pub fn select_ge_scratch(
+    dense: &[f32],
+    threshold: f32,
+    scratch: &mut SelectScratch,
+) -> CooGradient {
     select_ge_with_threads(dense, threshold, scratch, auto_threads(dense.len()))
 }
 
@@ -368,8 +372,7 @@ mod tests {
                 let mut sp = SelectScratch::new();
                 let par = select_ge_with_threads(&dense, 0.3, &mut sp, threads);
                 assert_eq!(par, serial, "n={n} threads={threads}");
-                let th_par =
-                    exact_threshold_with_threads(&dense, n / 3 + 1, &mut sp, threads);
+                let th_par = exact_threshold_with_threads(&dense, n / 3 + 1, &mut sp, threads);
                 assert_eq!(th_par.to_bits(), th_serial.to_bits(), "n={n} threads={threads}");
             }
         }

@@ -80,8 +80,7 @@ pub fn topk_exact(dense: &[f32], k: usize) -> CooGradient {
     let mut keep_idx = Vec::with_capacity(k);
     let mut keep_val = Vec::with_capacity(k);
     // Drop the *last* `excess` entries whose magnitude equals the threshold.
-    let ties: Vec<usize> =
-        (0..idx.len()).filter(|&i| val[i].abs() == th).collect();
+    let ties: Vec<usize> = (0..idx.len()).filter(|&i| val[i].abs() == th).collect();
     let drop_from = ties.len() - at_threshold_to_drop;
     let drop_set: std::collections::HashSet<usize> = ties[drop_from..].iter().copied().collect();
     for i in 0..idx.len() {
@@ -330,10 +329,7 @@ mod tests {
             let values: Vec<f32> =
                 (0..n).map(|_| (rng.gen_range(-5i32..5) as f32) * 0.25).collect();
             let k = rng.gen_range(1..=n);
-            assert_eq!(
-                exact_threshold(&values, k),
-                exact_threshold_by_sort(&values, k)
-            );
+            assert_eq!(exact_threshold(&values, k), exact_threshold_by_sort(&values, k));
         }
     }
 }

@@ -266,7 +266,13 @@ mod tests {
     fn gaussian_scaling_recovers_three_quarters() {
         let mut rng = StdRng::seed_from_u64(5);
         let values: Vec<f32> = (0..20_000)
-            .map(|i| if i % 100 == 0 { rng.gen_range(-3.0f32..3.0) } else { rng.gen_range(-0.01..0.01) })
+            .map(|i| {
+                if i % 100 == 0 {
+                    rng.gen_range(-3.0f32..3.0)
+                } else {
+                    rng.gen_range(-0.01..0.01)
+                }
+            })
             .collect();
         let k = 2_000;
         let mut est = GaussianEstimator::new(true);

@@ -119,9 +119,8 @@ fn boundary_lengths_are_bit_identical() {
     let mut scratch = SelectScratch::new();
     for &threads in &THREADS {
         for len in [0, 1, 2, 6, 7, 8, 13, 27, 28, 29, 255, 256, 257] {
-            let dense: Vec<f32> = (0..len)
-                .map(|i| ((i as f32 * 0.37).sin() * 100.0).round() / 100.0)
-                .collect();
+            let dense: Vec<f32> =
+                (0..len).map(|i| ((i as f32 * 0.37).sin() * 100.0).round() / 100.0).collect();
             let serial_sel = select_ge(&dense, 0.25);
             let got_sel = select_ge_with_threads(&dense, 0.25, &mut scratch, threads);
             assert_eq!(got_sel, serial_sel, "select_ge len={len} threads={threads}");
@@ -153,19 +152,10 @@ fn scratch_reuse_across_mixed_calls_is_stateless() {
     let b: Vec<f32> = (0..41).map(|i| ((i * 5 % 11) as f32 - 5.0) / 5.0).collect();
     for _ in 0..3 {
         for threads in THREADS {
-            assert_eq!(
-                select_ge_with_threads(&a, 0.5, &mut scratch, threads),
-                select_ge(&a, 0.5)
-            );
-            assert_eq!(
-                topk_exact_with_threads(&b, 9, &mut scratch, threads),
-                topk_exact(&b, 9)
-            );
+            assert_eq!(select_ge_with_threads(&a, 0.5, &mut scratch, threads), select_ge(&a, 0.5));
+            assert_eq!(topk_exact_with_threads(&b, 9, &mut scratch, threads), topk_exact(&b, 9));
             let g = CooGradient::from_sorted(vec![2, 5, 9], vec![0.1, -0.9, 0.4]);
-            assert_eq!(
-                filter_abs_ge_scratch(&g, 0.3, &mut scratch),
-                g.filter_abs_ge(0.3)
-            );
+            assert_eq!(filter_abs_ge_scratch(&g, 0.3, &mut scratch), g.filter_abs_ge(0.3));
         }
     }
 }

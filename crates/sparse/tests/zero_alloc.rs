@@ -88,7 +88,11 @@ fn steady_state_selection_path_is_allocation_free() {
     let dense: Vec<f32> = (0..n)
         .map(|i| {
             let v = ((i as f32 * 0.731).sin() * 2.0) + 0.01;
-            if v == 0.0 { 0.01 } else { v }
+            if v == 0.0 {
+                0.01
+            } else {
+                v
+            }
         })
         .collect();
     let peer_idx: Vec<u32> = (0..n as u32).step_by(3).collect();
@@ -107,8 +111,7 @@ fn steady_state_selection_path_is_allocation_free() {
     scratch.recycle(full);
     let mut warm_nnz = 0;
     for _ in 0..3 {
-        warm_nnz =
-            hot_iteration(&dense, &peer, k, &mut scratch, &mut spare_idx, &mut spare_val, 1);
+        warm_nnz = hot_iteration(&dense, &peer, k, &mut scratch, &mut spare_idx, &mut spare_val, 1);
     }
 
     // Armed phase: the same iteration, repeated, must not allocate at all.
@@ -121,10 +124,7 @@ fn steady_state_selection_path_is_allocation_free() {
     ARMED.with(|a| a.set(false));
 
     let allocs = ALLOCS.with(|c| c.get());
-    assert_eq!(
-        allocs, 0,
-        "steady-state selection iteration performed {allocs} heap allocations"
-    );
+    assert_eq!(allocs, 0, "steady-state selection iteration performed {allocs} heap allocations");
     // Sanity: the armed iterations did real work identical to the warm ones.
     assert_eq!(armed_nnz, warm_nnz);
     assert!(armed_nnz > 0);
@@ -140,14 +140,26 @@ fn steady_state_selection_path_is_allocation_free() {
     let mut pool_warm_nnz = 0;
     for _ in 0..3 {
         pool_warm_nnz = hot_iteration(
-            &dense, &peer, k, &mut scratch, &mut spare_idx, &mut spare_val, POOL_THREADS,
+            &dense,
+            &peer,
+            k,
+            &mut scratch,
+            &mut spare_idx,
+            &mut spare_val,
+            POOL_THREADS,
         );
     }
     ARMED.with(|a| a.set(true));
     let mut pool_nnz = 0;
     for _ in 0..5 {
         pool_nnz = hot_iteration(
-            &dense, &peer, k, &mut scratch, &mut spare_idx, &mut spare_val, POOL_THREADS,
+            &dense,
+            &peer,
+            k,
+            &mut scratch,
+            &mut spare_idx,
+            &mut spare_val,
+            POOL_THREADS,
         );
     }
     ARMED.with(|a| a.set(false));

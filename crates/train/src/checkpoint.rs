@@ -215,9 +215,7 @@ mod tests {
 
         let (p, n, k) = (4usize, 128usize, 16usize);
         let grad_for = |t: usize, rank: usize| -> Vec<f32> {
-            (0..n)
-                .map(|i| (((t * 31 + rank * 7 + i) % 17) as f32 - 8.0) * 0.1)
-                .collect()
+            (0..n).map(|i| (((t * 31 + rank * 7 + i) % 17) as f32 - 8.0) * 0.1).collect()
         };
 
         // Uninterrupted reference: 10 steps.

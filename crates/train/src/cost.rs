@@ -124,7 +124,7 @@ mod tests {
     fn proportions_match_paper_regime() {
         let c = CostProfile::paper_calibrated();
         let n = 27_500_000usize; // VGG-16
-        // Dense allreduce volume 2n: communication should be ~2× compute.
+                                 // Dense allreduce volume 2n: communication should be ~2× compute.
         let comm = 2.0 * n as f64 * c.beta;
         let compute = c.fwd_bwd(n);
         assert!(comm / compute > 1.5 && comm / compute < 2.5, "ratio {}", comm / compute);

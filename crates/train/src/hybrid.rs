@@ -203,7 +203,8 @@ mod tests {
     fn bubble_fraction_matches_gpipe_formula() {
         let cfg = base();
         let est = cfg.evaluate(Scheme::Dense);
-        let expect = (cfg.stages as f64 - 1.0) / (cfg.microbatches as f64 + cfg.stages as f64 - 1.0);
+        let expect =
+            (cfg.stages as f64 - 1.0) / (cfg.microbatches as f64 + cfg.stages as f64 - 1.0);
         assert!((est.bubble_fraction() - expect).abs() < 1e-9);
     }
 

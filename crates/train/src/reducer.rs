@@ -2,7 +2,7 @@
 
 use crate::cost::CostProfile;
 use collectives::{
-    allreduce_inplace, dsa_allreduce, gtopk_allreduce, quantized_allgather_allreduce,
+    allreduce_overlapped, dsa_allreduce, gtopk_allreduce, quantized_allgather_allreduce,
     topk_allgather_allreduce,
 };
 use oktopk::oktopk::intersect_sorted;
@@ -127,11 +127,8 @@ impl Reducer {
         } else {
             None
         };
-        let residual = if scheme.is_sparse() && scheme != Scheme::OkTopk {
-            vec![0.0; n]
-        } else {
-            Vec::new()
-        };
+        let residual =
+            if scheme.is_sparse() && scheme != Scheme::OkTopk { vec![0.0; n] } else { Vec::new() };
         Self { scheme, n, k, cost, residual, oktopk, quantization: None, t: 0 }
     }
 
@@ -159,8 +156,33 @@ impl Reducer {
     /// Sparsification cost is charged to the rank's clock inside this call and
     /// reported in the metrics so the caller can split the clock delta into
     /// sparsification vs communication.
-    pub fn reduce<C: Net>(&mut self, comm: &mut C, grad: &[f32], scale: f32) -> (Update, ReduceMetrics) {
+    pub fn reduce<C: Net>(
+        &mut self,
+        comm: &mut C,
+        grad: &[f32],
+        scale: f32,
+    ) -> (Update, ReduceMetrics) {
+        self.reduce_with_overlap(comm, grad, scale, 0.0)
+    }
+
+    /// Like [`Reducer::reduce`], but additionally spends `overlap_budget` seconds
+    /// of modeled compute (the DenseOvlp backward tail) *inside* the dense
+    /// allreduce, spread across its steps between each posted receive and its
+    /// wait — so the compute genuinely hides in the transfer time instead of
+    /// being patched over the clock afterwards. Sparse schemes assert a zero
+    /// budget: their overlap structure lives inside the collective itself.
+    pub fn reduce_with_overlap<C: Net>(
+        &mut self,
+        comm: &mut C,
+        grad: &[f32],
+        scale: f32,
+        overlap_budget: f64,
+    ) -> (Update, ReduceMetrics) {
         debug_assert_eq!(grad.len(), self.n);
+        debug_assert!(
+            overlap_budget == 0.0 || !self.scheme.is_sparse(),
+            "overlap budgets only apply to the dense schemes"
+        );
         self.t += 1;
         let p = comm.size() as f32;
         let mut metrics = ReduceMetrics::default();
@@ -169,7 +191,7 @@ impl Reducer {
             Scheme::Dense | Scheme::DenseOvlp => {
                 comm.set_phase("dense");
                 let mut sum = grad.to_vec();
-                allreduce_inplace(comm, &mut sum);
+                allreduce_overlapped(comm, &mut sum, overlap_budget);
                 for v in &mut sum {
                     *v /= p;
                 }
@@ -202,10 +224,10 @@ impl Reducer {
                         // The paper attributes gTopk's per-level hierarchical
                         // selections to communication time; each level re-selects
                         // the top-k of a 2k-entry merge.
-                        let levels = (usize::BITS - (comm.size().max(2) - 1).leading_zeros()) as f64;
+                        let levels =
+                            (usize::BITS - (comm.size().max(2) - 1).leading_zeros()) as f64;
                         comm.compute(self.cost.topk_exact(2 * self.k) * levels);
-                        let contributed =
-                            intersect_sorted(local.indexes(), result.indexes());
+                        let contributed = intersect_sorted(local.indexes(), result.indexes());
                         (result, contributed)
                     }
                     _ => unreachable!(),
@@ -276,11 +298,7 @@ impl Reducer {
     }
 
     fn accumulate(&mut self, grad: &[f32], scale: f32) -> Vec<f32> {
-        self.residual
-            .iter()
-            .zip(grad)
-            .map(|(&e, &g)| e + scale * g)
-            .collect()
+        self.residual.iter().zip(grad).map(|(&e, &g)| e + scale * g).collect()
     }
 
     fn update_residual(&mut self, acc: &[f32], contributed: &[u32]) {

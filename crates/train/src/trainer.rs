@@ -173,9 +173,7 @@ where
     cfg.cost = cfg.cost.scaled_for_model(n);
     let cfg = &cfg;
     let cluster = Cluster::new(p, cfg.cost.network());
-    let report = cluster.run(|comm| {
-        train_rank(comm, cfg, &make_model, &make_batch, eval_batches)
-    });
+    let report = cluster.run(|comm| train_rank(comm, cfg, &make_model, &make_batch, eval_batches));
     let makespan = report.makespan();
     let (records, evals) = report.results.into_iter().next().expect("rank 0 result");
     RunResult { scheme: cfg.scheme, records, evals, makespan }
@@ -258,10 +256,11 @@ where
             None
         };
 
-        let (update, metrics) = reducer.reduce(comm, model.grads(), scale);
+        // The overlapped backward tail (DenseOvlp) is spent *inside* the
+        // allreduce, spread across its steps between posted receives and waits.
+        let (update, metrics) =
+            reducer.reduce_with_overlap(comm, model.grads(), scale, fwd_time * overlap);
         let t_comm_end = comm.now();
-        // The overlapped backward tail finishes no earlier than its own duration.
-        comm.advance_to(t_comm_start + fwd_time * overlap);
 
         let comm_visible =
             ((t_comm_end - t_comm_start) - metrics.sparsify_time - fwd_time * overlap).max(0.0);

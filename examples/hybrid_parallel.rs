@@ -23,9 +23,8 @@ fn main() {
 
     // Each stage has its own optimum; replicas see noisy shards of it.
     let mut rng = StdRng::seed_from_u64(5);
-    let targets: Vec<Vec<f32>> = (0..stages)
-        .map(|_| (0..n_stage).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
-        .collect();
+    let targets: Vec<Vec<f32>> =
+        (0..stages).map(|_| (0..n_stage).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
 
     let report = Cluster::new(p, CostModel::aries()).run(|comm| {
         let me = simnet::Comm::rank(comm);
@@ -75,7 +74,9 @@ fn main() {
 
     println!("hybrid 2-stage × 4-replica training with Ok-Topk per stage group:");
     for (rank, (stage, err, t)) in report.results.iter().enumerate() {
-        println!("  rank {rank} (stage {stage}): final ‖w − target‖ = {err:.3}, modeled time {t:.4}s");
+        println!(
+            "  rank {rank} (stage {stage}): final ‖w − target‖ = {err:.3}, modeled time {t:.4}s"
+        );
     }
     let worst = report.results.iter().map(|(_, e, _)| *e).fold(0.0f64, f64::max);
     let initial = (n_stage as f64 / 3.0).sqrt(); // E‖0 − U(−1,1)ⁿ‖

@@ -34,12 +34,7 @@ fn main() {
             &eval,
         );
         let last = res.evals.last().expect("final evaluation");
-        println!(
-            "{:<11} {:>10.4} {:>12.3}s",
-            scheme.name(),
-            1.0 - last.accuracy,
-            last.time
-        );
+        println!("{:<11} {:>10.4} {:>12.3}s", scheme.name(), 1.0 - last.accuracy, last.time);
     }
     println!("\nExpected: sparse schemes reach similar error; Ok-Topk in the least time.");
 }

@@ -55,8 +55,7 @@ fn main() {
     let bound = 6.0 * k as f64 * (p as f64 - 1.0) / p as f64;
     println!("\nsteady-state traffic (iteration 2), 6k(P-1)/P bound = {bound:.0} elements:");
     for rank in 0..p {
-        let sent =
-            (both.ledger.rank_elements(rank) - first.ledger.rank_elements(rank)) as f64;
+        let sent = (both.ledger.rank_elements(rank) - first.ledger.rank_elements(rank)) as f64;
         assert!(sent <= bound, "rank {rank} exceeded the bound: {sent} > {bound}");
         println!("  rank {rank}: sent {sent:>4.0} elements, within bound ✓");
     }

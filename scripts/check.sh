@@ -1,25 +1,40 @@
 #!/usr/bin/env bash
 # Pre-PR gate: everything a change must pass before review.
 #
-#   ./scripts/check.sh          # build + full test suite + quick hot-path gate
+#   ./scripts/check.sh          # build + lints + full test suite + quick bench gates
 #
-# The hot-path bench runs in --quick --gate mode (a few seconds): it fails the
-# script if any *_serial_vs_parallel speedup at the default thread count drops
-# below 0.98, unless the row is flagged serial_fallback (the adaptive
-# granularity policy chose 1 thread — parallel == serial by design, e.g. on a
-# single-core host). Quick numbers go to target/hotpath-gate.json so they never
-# overwrite the checked-in full-run BENCH_PR2.json; regenerate that with
+# The benches run in --quick --gate mode (a few seconds each):
+#
+# - hotpath fails the script if any *_serial_vs_parallel speedup at the default
+#   thread count drops below 0.98, unless the row is flagged serial_fallback
+#   (the adaptive granularity policy chose 1 thread — parallel == serial by
+#   design, e.g. on a single-core host).
+# - msgpath fails the script if the pooled message path loses to the boxed
+#   baseline (speedup < 1.0) at P = 16.
+#
+# Quick numbers go to target/*-gate.json so they never overwrite the checked-in
+# full-run BENCH_PR2.json / BENCH_PR4.json; regenerate those with
 #   cargo run --release -p okbench --bin hotpath
+#   cargo run --release -p okbench --bin msgpath
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== build (release) =="
 cargo build --release --workspace
 
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace -- -D warnings
+
+echo "== rustfmt (check) =="
+cargo fmt --check
+
 echo "== tests =="
 cargo test -q --workspace
 
 echo "== hot-path bench (quick, gated) =="
 cargo run --release -p okbench --bin hotpath -- --quick --gate --out target/hotpath-gate.json
+
+echo "== message-path bench (quick, gated) =="
+cargo run --release -p okbench --bin msgpath -- --quick --gate --out target/msgpath-gate.json
 
 echo "OK: all gates passed"

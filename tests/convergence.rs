@@ -72,17 +72,11 @@ fn bert_adam_recipe_converges() {
     // Chance level is ln(15) ≈ 2.71; both must clearly beat it, and Ok-Topk must
     // stay within a reasonable band of the lossless baseline.
     assert!(dense_final < 2.4, "dense failed to learn: {dense_final}");
-    assert!(
-        okt_final < dense_final + 0.6,
-        "Ok-Topk {okt_final} too far above dense {dense_final}"
-    );
+    assert!(okt_final < dense_final + 0.6, "Ok-Topk {okt_final} too far above dense {dense_final}");
     // Ok-Topk must reach its final state in less modeled time.
     let dense_time = dense.evals.last().expect("eval").time;
     let okt_time = okt.evals.last().expect("eval").time;
-    assert!(
-        okt_time < dense_time,
-        "Ok-Topk modeled time {okt_time} not below dense {dense_time}"
-    );
+    assert!(okt_time < dense_time, "Ok-Topk modeled time {okt_time} not below dense {dense_time}");
 }
 
 /// ξ stays bounded (Assumption 1) over a real training run.

@@ -103,13 +103,7 @@ fn all_schemes_deterministic() {
         cfg.tau_prime = 2;
         let run = || {
             let d = data.clone();
-            run_data_parallel(
-                3,
-                &cfg,
-                small_vgg,
-                move |it, r, w| d.train_batch(it, r, w, 2),
-                &[],
-            )
+            run_data_parallel(3, &cfg, small_vgg, move |it, r, w| d.train_batch(it, r, w, 2), &[])
         };
         let a = run();
         let b = run();
@@ -132,13 +126,7 @@ fn sparse_at_full_density_matches_dense() {
         cfg.local_batch = 2;
         cfg.optimizer = OptimizerKind::Sgd { lr: 0.05 };
         let d = data.clone();
-        run_data_parallel(
-            2,
-            &cfg,
-            small_vgg,
-            move |it, r, w| d.train_batch(it, r, w, 2),
-            &[],
-        )
+        run_data_parallel(2, &cfg, small_vgg, move |it, r, w| d.train_batch(it, r, w, 2), &[])
     };
     let dense = run(Scheme::Dense);
     let topka = run(Scheme::TopkA);
@@ -168,13 +156,7 @@ fn oktopk_accuracy_close_to_dense() {
         cfg.tau_prime = 8;
         cfg.eval_every = 60;
         let d = data.clone();
-        run_data_parallel(
-            4,
-            &cfg,
-            small_vgg,
-            move |it, r, w| d.train_batch(it, r, w, 4),
-            &eval,
-        )
+        run_data_parallel(4, &cfg, small_vgg, move |it, r, w| d.train_batch(it, r, w, 4), &eval)
     };
     let dense_acc = run(Scheme::Dense).evals.last().expect("eval").accuracy;
     let okt_acc = run(Scheme::OkTopk).evals.last().expect("eval").accuracy;

@@ -16,9 +16,8 @@ fn concurrent_group_oktopk_allreduces() {
     let n = 256;
     let k = 32;
     let mut rng = StdRng::seed_from_u64(3);
-    let accs: Vec<Vec<f32>> = (0..p)
-        .map(|_| (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
-        .collect();
+    let accs: Vec<Vec<f32>> =
+        (0..p).map(|_| (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
 
     // Serial reference per group with the same selection semantics (τ′ = 1).
     let reference = |members: &[usize]| -> CooGradient {
@@ -35,7 +34,8 @@ fn concurrent_group_oktopk_allreduces() {
 
     let report = Cluster::new(p, CostModel::aries()).run(|comm| {
         let me = simnet::Comm::rank(comm);
-        let (members, gid) = if me < 4 { (vec![0, 1, 2, 3], 1u16) } else { (vec![4, 5, 6, 7], 2u16) };
+        let (members, gid) =
+            if me < 4 { (vec![0, 1, 2, 3], 1u16) } else { (vec![4, 5, 6, 7], 2u16) };
         let mut group = GroupComm::new(comm, members, gid);
         let mut okt = OkTopk::new(OkTopkConfig::new(n, k).with_periods(1, 1));
         okt.allreduce(&mut group, &accs[me], 1).update

@@ -9,9 +9,7 @@
 //! Completion of the `std::thread::scope` doubles as the no-deadlock check:
 //! a stuck dispatch would hang the join and trip the test harness timeout.
 
-use dnn::ops::{
-    matmul_acc_with_threads, matmul_acc_wt_with_threads, matmul_acc_xt_with_threads,
-};
+use dnn::ops::{matmul_acc_with_threads, matmul_acc_wt_with_threads, matmul_acc_xt_with_threads};
 use sparse::scratch::{exact_threshold_with_threads, select_ge_with_threads, SelectScratch};
 
 fn pseudo(n: usize, seed: u64) -> Vec<f32> {

@@ -22,8 +22,7 @@ fn oktopk_volume_bound_holds_on_real_gradients() {
             let mut model = VggLite::with_width(5, 4, 8, 16, 4, 8);
             let n = model.num_params();
             let k = n / 20; // density 5%
-            let mut sgd =
-                OkTopkSgd::new(OkTopkConfig::new(n, k).with_periods(8, 8));
+            let mut sgd = OkTopkSgd::new(OkTopkConfig::new(n, k).with_periods(8, 8));
             for t in 0..iters as u64 {
                 let batch = data.train_batch(t, comm.rank(), comm.size(), 2);
                 model.zero_grads();
@@ -91,15 +90,9 @@ fn topka_grows_with_p_oktopk_does_not() {
     let okt_16 = measure(16, true);
 
     // TopkA per-rank volume should roughly quadruple from P=4 to P=16…
-    assert!(
-        topka_16 > topka_4 * 3.0,
-        "TopkA did not scale with P: {topka_4} -> {topka_16}"
-    );
+    assert!(topka_16 > topka_4 * 3.0, "TopkA did not scale with P: {topka_4} -> {topka_16}");
     // …while Ok-Topk's grows by far less (re-eval share shrinks relative to P).
-    assert!(
-        okt_16 < okt_4 * 2.0,
-        "Ok-Topk volume grew too fast: {okt_4} -> {okt_16}"
-    );
+    assert!(okt_16 < okt_4 * 2.0, "Ok-Topk volume grew too fast: {okt_4} -> {okt_16}");
     // And Ok-Topk moves clearly less than TopkA at P=16 even with the short run's
     // heavy τ′ = 4 re-evaluation share folded in.
     assert!(okt_16 < topka_16 * 0.6, "okt {okt_16} vs topka {topka_16}");
@@ -125,9 +118,6 @@ fn gtopk_bounds_result_size_topka_fills_in() {
     });
     for (k, union_nnz, gt_nnz) in &report.results {
         assert!(gt_nnz <= k, "gTopk overflowed k");
-        assert!(
-            *union_nnz > *k,
-            "expected fill-in in the union: {union_nnz} vs k = {k}"
-        );
+        assert!(*union_nnz > *k, "expected fill-in in the union: {union_nnz} vs k = {k}");
     }
 }
