@@ -193,6 +193,46 @@ mod tests {
     }
 
     #[test]
+    fn straggler_slows_the_schedule_but_not_the_math() {
+        // A 4x straggler (hitting the merge-cost compute blocks) must stretch
+        // the modeled makespan without changing a single reduced value: chaos
+        // perturbs *when*, never *what*.
+        let (p, n, k) = (8, 4096, 256);
+        let mut rng = StdRng::seed_from_u64(11);
+        let locals: Vec<CooGradient> = (0..p)
+            .map(|_| {
+                let dense: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                topk_exact(&dense, k)
+            })
+            .collect();
+        let cfg = OkTopkConfig::new(n, k).with_merge_cost(1e-7);
+        let bounds = equal_boundaries(n as u32, p);
+        let run = |chaos: Option<simnet::ChaosPlan>| {
+            let mut cluster = Cluster::new(p, CostModel::aries());
+            if let Some(plan) = chaos {
+                cluster = cluster.with_chaos(plan);
+            }
+            cluster.run(|comm| {
+                let mut scratch = SelectScratch::new();
+                split_and_reduce(comm, &cfg, &locals[comm.rank()].clone(), &bounds, &mut scratch)
+                    .reduced_region
+            })
+        };
+        let clean = run(None);
+        let slow = run(Some(simnet::ChaosPlan::new(0).straggler(3, 4.0)));
+        assert!(
+            slow.makespan() > clean.makespan(),
+            "straggler must stretch the makespan: {} vs {}",
+            slow.makespan(),
+            clean.makespan()
+        );
+        for (a, b) in clean.results.iter().zip(&slow.results) {
+            assert_eq!(a.indexes(), b.indexes());
+            assert_eq!(a.values(), b.values());
+        }
+    }
+
+    #[test]
     fn volume_is_at_most_2k_fraction_with_balanced_load() {
         // Uniform random supports on equal regions: each rank sends ≈ 2k(P−1)/P.
         let (p, n, k) = (8, 8192, 512);

@@ -4,6 +4,7 @@ use crate::comm::{BarrierState, Comm};
 use crate::cost::CostModel;
 use crate::envelope::Envelope;
 use crate::ledger::{Ledger, LedgerSnapshot};
+use chaos::{ChaosPlan, ChaosView};
 use crossbeam_channel::unbounded;
 use std::sync::Arc;
 
@@ -20,6 +21,8 @@ pub struct Cluster {
     /// Wall-clock recv deadline override; `None` defers to `SIMNET_RECV_DEADLOCK_SECS`
     /// (else the 180 s default).
     recv_timeout: Option<std::time::Duration>,
+    /// Fault/perturbation schedule applied to every run; `None` is the clean model.
+    chaos: Option<ChaosPlan>,
 }
 
 /// Everything a simulation run produces.
@@ -43,7 +46,20 @@ impl Cluster {
     /// A cluster of `size` ranks under the given cost model.
     pub fn new(size: usize, cost: CostModel) -> Self {
         assert!(size >= 1, "cluster needs at least one rank");
-        Self { size, cost, stack_bytes: 8 << 20, recv_timeout: None }
+        Self { size, cost, stack_bytes: 8 << 20, recv_timeout: None, chaos: None }
+    }
+
+    /// Install a [`ChaosPlan`]: every subsequent [`run`](Self::run) charges
+    /// virtual time through the plan's perturbations (stragglers, link
+    /// degradation, jitter, pauses). The plan is compiled once per run and
+    /// shared read-only by all ranks, so runs stay deterministic — same plan,
+    /// same seed ⇒ bit-identical results and virtual-time trajectories.
+    ///
+    /// # Panics
+    /// [`run`](Self::run) panics if the plan names a rank `>= size`.
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
+        self
     }
 
     /// Override the wall-clock deadline after which a blocking `recv` declares the
@@ -81,6 +97,7 @@ impl Cluster {
         let ledger = Arc::new(Ledger::new());
         let barrier = Arc::new(BarrierState::new());
         let recv_deadline = self.recv_timeout.unwrap_or_else(crate::comm::default_recv_deadline);
+        let compiled = self.chaos.as_ref().map(|plan| Arc::new(plan.compile(self.size)));
         let (senders, receivers): (Vec<_>, Vec<_>) =
             (0..self.size).map(|_| unbounded::<Envelope>()).unzip();
 
@@ -93,6 +110,7 @@ impl Cluster {
                 let senders = senders.clone();
                 let ledger = Arc::clone(&ledger);
                 let barrier = Arc::clone(&barrier);
+                let view = compiled.as_ref().map(|c| ChaosView::new(Arc::clone(c), rank));
                 let f = &f;
                 let handle = std::thread::Builder::new()
                     .name(format!("rank-{rank}"))
@@ -107,6 +125,7 @@ impl Cluster {
                             inbox,
                             barrier,
                             recv_deadline,
+                            view,
                         );
                         let result = f(&mut comm);
                         (result, comm.local_finish_time())

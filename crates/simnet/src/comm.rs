@@ -5,6 +5,7 @@ use crate::envelope::{Envelope, Payload};
 use crate::ledger::Ledger;
 use crate::request::{RecvHandle, SendHandle};
 use crate::trace::{TraceEvent, TraceKind};
+use chaos::ChaosView;
 use crossbeam_channel::{Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
@@ -144,7 +145,12 @@ pub struct Comm {
     pool: BufPool,
     barrier: Arc<BarrierState>,
     /// Wall-clock deadline after which a blocking `recv` declares deadlock.
+    /// Already includes the chaos plan's wall-hold budget (see [`Comm::new`]),
+    /// so injected pauses are never misreported as deadlocks.
     recv_deadline: Duration,
+    /// This rank's view of the installed chaos plan, if any. `None` keeps every
+    /// charging path bit-identical to the clean model.
+    chaos: Option<ChaosView>,
 }
 
 impl Comm {
@@ -158,7 +164,13 @@ impl Comm {
         inbox: Receiver<Envelope>,
         barrier: Arc<BarrierState>,
         recv_deadline: Duration,
+        chaos: Option<ChaosView>,
     ) -> Self {
+        // A paused peer holds the real channel for up to the plan's wall-hold
+        // budget; the deadlock watchdog must wait that much longer before
+        // declaring the run stuck.
+        let recv_deadline =
+            recv_deadline + chaos.as_ref().map(ChaosView::extra_wall_budget).unwrap_or_default();
         Self {
             rank,
             size,
@@ -176,7 +188,14 @@ impl Comm {
             pool: BufPool::default(),
             barrier,
             recv_deadline,
+            chaos,
         }
+    }
+
+    /// Whether a chaos plan is installed on this rank (via
+    /// [`crate::Cluster::with_chaos`]).
+    pub fn chaos_active(&self) -> bool {
+        self.chaos.is_some()
     }
 
     /// This rank's id in `0..size`.
@@ -223,8 +242,32 @@ impl Comm {
     }
 
     fn record(&mut self, start: f64, end: f64, kind: TraceKind) {
+        self.record_tagged(start, end, kind, false);
+    }
+
+    fn record_tagged(&mut self, start: f64, end: f64, kind: TraceKind, perturbed: bool) {
         if let Some(t) = self.trace.as_mut() {
-            t.push(TraceEvent::new(start, end, kind));
+            t.push(TraceEvent::tagged(start, end, kind, perturbed));
+        }
+    }
+
+    /// If this rank's virtual clock sits inside an injected pause, jump it to
+    /// the resume time, freeze the NIC ports along with it, trace the frozen
+    /// interval, and serve any wall-clock hold the plan prescribes. A no-op
+    /// without a chaos plan (or outside every pause window).
+    fn apply_pause(&mut self) {
+        let Some(view) = &self.chaos else { return };
+        let resumed = view.unpause(self.now);
+        if resumed > self.now {
+            let hold = view.wall_hold(resumed - self.now);
+            let start = self.now;
+            self.now = resumed;
+            self.inj_free = self.inj_free.max(resumed);
+            self.rcv_free = self.rcv_free.max(resumed);
+            self.record_tagged(start, resumed, TraceKind::Pause, true);
+            if hold > Duration::ZERO {
+                std::thread::sleep(hold);
+            }
         }
     }
 
@@ -235,13 +278,20 @@ impl Comm {
         self.free_mode = on;
     }
 
-    /// Advance the virtual clock by `seconds` of local computation.
+    /// Advance the virtual clock by `seconds` of local computation. Under a
+    /// chaos plan the block is stretched by any active straggler factor
+    /// (integrated piecewise across window edges) and skips pause intervals.
     pub fn compute(&mut self, seconds: f64) {
         debug_assert!(seconds >= 0.0, "negative compute time");
+        self.apply_pause();
         let start = self.now;
-        self.now += seconds;
-        let end = self.now;
-        self.record(start, end, TraceKind::Compute);
+        let clean_end = start + seconds;
+        let end = match &self.chaos {
+            Some(view) => view.advance_compute(start, seconds),
+            None => clean_end,
+        };
+        self.now = end;
+        self.record_tagged(start, end, TraceKind::Compute, end != clean_end);
     }
 
     /// Force the clock to at least `t` (used by higher-level overlap models).
@@ -292,26 +342,50 @@ impl Comm {
     }
 
     /// Charge the injection port for a message of `elems` elements to `dst` and
-    /// return its head-arrival time at the receiver.
-    fn stamp_send(&mut self, dst: usize, elems: u64) -> f64 {
+    /// return `(head_arrival, effective_beta, perturbed)`. Under a chaos plan
+    /// the link's α/β pick up any active degradation multipliers and the head
+    /// gains the message's deterministic jitter draw, all evaluated at
+    /// injection start; the effective β travels in the envelope so the receiver
+    /// charges the same per-element time.
+    fn stamp_send(&mut self, dst: usize, elems: u64) -> (f64, f64, bool) {
         assert!(dst < self.size, "send to rank {dst} out of range (size {})", self.size);
         assert_ne!(dst, self.rank, "self-sends are not modeled; keep local data local");
         if self.free_mode {
-            // Instrumentation traffic: deliver immediately, charge and log nothing.
-            f64::NEG_INFINITY
+            // Instrumentation traffic: deliver immediately, charge and log
+            // nothing — chaos does not apply (and consumes no jitter draws).
+            // The clean β still travels along in case the receiver is not in
+            // free mode (modes are supposed to agree, but don't silently
+            // change the cost if they don't).
+            (f64::NEG_INFINITY, self.cost.link(self.rank, dst).1, false)
         } else {
+            self.apply_pause();
             let (alpha, beta) = self.cost.link(self.rank, dst);
             let inj_start = self.now.max(self.inj_free);
-            self.inj_free = inj_start + beta * elems as f64;
+            let (alpha_eff, beta_eff, perturbed) = match self.chaos.as_mut() {
+                Some(view) => {
+                    let p = view.send_perturb(dst, inj_start);
+                    (alpha * p.alpha_mult + p.extra_latency, beta * p.beta_mult, p.is_perturbed())
+                }
+                None => (alpha, beta, false),
+            };
+            self.inj_free = inj_start + beta_eff * elems as f64;
             self.ledger.record(self.rank, self.phase, elems);
             let inj_end = self.inj_free;
-            self.record(inj_start, inj_end, TraceKind::Send { dst, elems });
-            inj_start + alpha
+            self.record_tagged(inj_start, inj_end, TraceKind::Send { dst, elems }, perturbed);
+            (inj_start + alpha_eff, beta_eff, perturbed)
         }
     }
 
-    fn post(&mut self, dst: usize, tag: Tag, head_arrival: f64, elems: u64, payload: Payload) {
-        let env = Envelope { src: self.rank, tag, head_arrival, elems, payload };
+    fn post(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        stamp: (f64, f64, bool),
+        elems: u64,
+        payload: Payload,
+    ) {
+        let (head_arrival, beta, perturbed) = stamp;
+        let env = Envelope { src: self.rank, tag, head_arrival, elems, beta, perturbed, payload };
         // The channel is unbounded; a send can only fail if the receiver thread
         // panicked, in which case propagating the panic here is the right outcome.
         self.senders[dst]
@@ -327,8 +401,8 @@ impl Comm {
     /// and [`barrier`](Self::barrier) account for the port occupancy.
     pub fn send<T: WireSize + Send + 'static>(&mut self, dst: usize, tag: Tag, value: T) {
         let elems = value.wire_elems();
-        let head_arrival = self.stamp_send(dst, elems);
-        self.post(dst, tag, head_arrival, elems, Payload::from_value(value));
+        let stamp = self.stamp_send(dst, elems);
+        self.post(dst, tag, stamp, elems, Payload::from_value(value));
     }
 
     /// [`send`](Self::send) returning a handle that records when the message
@@ -355,35 +429,40 @@ impl Comm {
         value: Arc<T>,
     ) {
         let elems = value.wire_elems();
-        let head_arrival = self.stamp_send(dst, elems);
-        self.post(dst, tag, head_arrival, elems, Payload::Shared(value));
+        let stamp = self.stamp_send(dst, elems);
+        self.post(dst, tag, stamp, elems, Payload::Shared(value));
     }
 
     /// Complete the reception of a drained envelope: serialize on the reception
-    /// port, advance the clock, and trace the drain interval.
-    fn complete_reception(&mut self, src: usize, head_arrival: f64, elems: u64) {
+    /// port, advance the clock, and trace the drain interval. The per-element
+    /// time comes from the envelope — the sender evaluated any chaos link
+    /// degradation at injection start, so both endpoints charge the same β
+    /// (bit-identical to `cost.link(src, rank)` when no plan is installed).
+    fn complete_reception(&mut self, env: &Envelope) {
         if self.free_mode {
             return;
         }
-        let (_, beta) = self.cost.link(src, self.rank);
-        let rcv_start = head_arrival.max(self.rcv_free);
-        let done = rcv_start + beta * elems as f64;
+        self.apply_pause();
+        let rcv_start = env.head_arrival.max(self.rcv_free);
+        let done = rcv_start + env.beta * env.elems as f64;
         self.rcv_free = done;
         self.now = self.now.max(done);
         // Clamp the traced pair consistently: a negative head_arrival at t≈0
-        // (free-mode sender, zero-α model) must not produce start > end.
+        // (free-mode sender, zero-α model) must not produce start > end. The
+        // same clamp covers perturbed pairs — both glyphs of a Recv stay
+        // inside [0, done].
         let start = rcv_start.max(0.0).min(done);
-        self.record(start, done.max(start), TraceKind::Recv { src, elems });
+        let (src, elems) = (env.src, env.elems);
+        self.record_tagged(start, done.max(start), TraceKind::Recv { src, elems }, env.perturbed);
     }
 
     /// Modeled completion time this envelope *would* have if resolved now,
     /// without committing the port.
-    fn reception_done_time(&self, src: usize, head_arrival: f64, elems: u64) -> f64 {
+    fn reception_done_time(&self, env: &Envelope) -> f64 {
         if self.free_mode {
             return f64::NEG_INFINITY;
         }
-        let (_, beta) = self.cost.link(src, self.rank);
-        head_arrival.max(self.rcv_free) + beta * elems as f64
+        env.head_arrival.max(self.rcv_free) + env.beta * env.elems as f64
     }
 
     fn unwrap_payload<T: Send + 'static>(&self, env: Envelope, src: usize, tag: Tag) -> T {
@@ -402,7 +481,7 @@ impl Comm {
     /// rank's reception port: `max(head_arrival, port_free) + β·L`.
     pub fn recv<T: Send + 'static>(&mut self, src: usize, tag: Tag) -> T {
         let env = self.take_matching(src, tag);
-        self.complete_reception(src, env.head_arrival, env.elems);
+        self.complete_reception(&env);
         self.unwrap_payload(env, src, tag)
     }
 
@@ -410,7 +489,7 @@ impl Comm {
     /// Timing semantics are identical to [`recv`](Self::recv).
     pub fn recv_shared<T: Send + Sync + 'static>(&mut self, src: usize, tag: Tag) -> Arc<T> {
         let env = self.take_matching(src, tag);
-        self.complete_reception(src, env.head_arrival, env.elems);
+        self.complete_reception(&env);
         env.payload.into_shared::<T>().unwrap_or_else(|found| {
             panic!(
                 "rank {}: type mismatch receiving shared from {src} tag {tag} \
@@ -445,8 +524,8 @@ impl Comm {
     pub fn test_recv<T: Send + 'static>(&mut self, req: RecvHandle<T>) -> Result<T, RecvHandle<T>> {
         let (src, tag) = (req.src(), req.tag());
         let env = self.take_matching(src, tag);
-        if self.reception_done_time(src, env.head_arrival, env.elems) <= self.now {
-            self.complete_reception(src, env.head_arrival, env.elems);
+        if self.reception_done_time(&env) <= self.now {
+            self.complete_reception(&env);
             Ok(self.unwrap_payload(env, src, tag))
         } else {
             // Not drained yet at this rank's virtual time: put the envelope
@@ -510,6 +589,7 @@ impl Comm {
     /// Synchronize all ranks; clocks advance to the cluster-wide maximum (including
     /// pending injection work) plus a dissemination-barrier latency of `α·⌈log2 P⌉`.
     pub fn barrier(&mut self) {
+        self.apply_pause();
         let t_in = self.local_finish_time();
         let t_max = self.barrier.wait(self.size, t_in);
         self.now = t_max + barrier_latency(&self.cost, self.size);

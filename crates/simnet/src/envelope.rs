@@ -93,10 +93,17 @@ pub(crate) struct Envelope {
     pub src: usize,
     pub tag: u64,
     /// Modeled time at which the head of the message reaches the receiver
-    /// (injection start + α).
+    /// (injection start + effective α, including any injected jitter).
     pub head_arrival: f64,
     /// Body size in 4-byte wire elements.
     pub elems: u64,
+    /// Effective per-element link time for this message. The sender evaluates
+    /// any chaos link degradation once at injection start and carries the
+    /// result here, so both endpoints charge the *same* β for the same bytes;
+    /// with no chaos plan this is exactly `cost.link(src, dst).1`.
+    pub beta: f64,
+    /// Whether a chaos plan perturbed this message's timing (for trace tagging).
+    pub perturbed: bool,
     pub payload: Payload,
 }
 

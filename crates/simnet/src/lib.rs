@@ -28,6 +28,13 @@
 //! clock arithmetic depends only on per-rank program order and the matched message
 //! order, never on wall-clock races.
 //!
+//! ## Fault injection
+//!
+//! [`Cluster::with_chaos`] installs a [`ChaosPlan`] (from the `chaos` crate):
+//! a seeded, deterministic schedule of stragglers, link degradation windows,
+//! per-message latency jitter and rank pauses that the charging paths consult.
+//! With no plan installed every path is bit-identical to the clean model.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -53,6 +60,7 @@ pub mod net;
 pub mod request;
 pub mod trace;
 
+pub use chaos::{ChaosPlan, ChaosView, CompiledChaos, Perturbation, SendPerturb, Window};
 pub use cluster::{Cluster, SimReport};
 pub use comm::{Comm, Tag};
 pub use cost::Hierarchy;
@@ -60,4 +68,4 @@ pub use cost::{CostModel, WireSize};
 pub use ledger::{Ledger, LedgerSnapshot, PhaseVolume};
 pub use net::{GroupComm, Net};
 pub use request::{RecvHandle, SendHandle};
-pub use trace::{render_timeline, TraceEvent, TraceKind};
+pub use trace::{render_timeline, render_timeline_with_chaos, TraceEvent, TraceKind};

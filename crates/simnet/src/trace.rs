@@ -4,6 +4,11 @@
 //! and barrier is recorded with its modeled start/end times. The renderer draws an
 //! ASCII Gantt chart — handy for seeing schedules like split-and-reduce's rotation
 //! actually pipelining, without leaving the terminal.
+//!
+//! When a chaos plan is installed ([`crate::Cluster::with_chaos`]), events whose
+//! timing was perturbed carry a `perturbed` tag and render as lowercase glyphs;
+//! injected pauses appear as their own [`TraceKind::Pause`] intervals, and
+//! [`render_timeline_with_chaos`] adds a header row marking the plan's windows.
 
 /// What a rank was doing during one traced interval.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -26,6 +31,8 @@ pub enum TraceKind {
     Compute,
     /// Barrier synchronization (wait + latency).
     Barrier,
+    /// An injected chaos pause: the rank was frozen by the plan.
+    Pause,
 }
 
 /// One traced interval on one rank's virtual timeline.
@@ -37,40 +44,52 @@ pub struct TraceEvent {
     pub end: f64,
     /// Activity during the interval.
     pub kind: TraceKind,
+    /// Whether an installed chaos plan perturbed this interval (stretched
+    /// compute, degraded/jittered link, or pause-gated activity).
+    pub perturbed: bool,
 }
 
 impl TraceEvent {
-    /// Construct an event, checking (in debug builds) that the interval is
+    /// Construct a clean event, checking (in debug builds) that the interval is
     /// well-formed: recording code must clamp `start` and `end` consistently.
     pub fn new(start: f64, end: f64, kind: TraceKind) -> Self {
+        Self::tagged(start, end, kind, false)
+    }
+
+    /// Construct an event with an explicit perturbed tag; the same consistency
+    /// debug-assert applies to perturbed pairs as to clean Recv pairs.
+    pub fn tagged(start: f64, end: f64, kind: TraceKind, perturbed: bool) -> Self {
         debug_assert!(
             start <= end,
-            "trace event with start {start} > end {end} ({kind:?}): clamp the pair consistently"
+            "trace event with start {start} > end {end} ({kind:?}, perturbed {perturbed}): \
+             clamp the pair consistently"
         );
-        Self { start, end, kind }
+        Self { start, end, kind, perturbed }
     }
 
     fn glyph(&self) -> char {
-        match self.kind {
+        let clean = match self.kind {
             TraceKind::Send { .. } => 'S',
             TraceKind::Recv { .. } => 'R',
             TraceKind::Compute => 'C',
             TraceKind::Barrier => 'B',
+            TraceKind::Pause => 'P',
+        };
+        if self.perturbed && self.kind != TraceKind::Pause {
+            clean.to_ascii_lowercase()
+        } else {
+            clean
         }
     }
 }
 
-/// Render per-rank traces as an ASCII Gantt chart of `width` columns spanning
-/// `[0, t_max]`. Overlapping events on one rank keep the later glyph; idle time
-/// renders as `·`.
-pub fn render_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
-    let t_max =
-        traces.iter().flat_map(|t| t.iter().map(|e| e.end)).fold(0.0f64, f64::max).max(1e-12);
-    let mut out = String::new();
-    out.push_str(&format!(
-        "timeline 0 .. {:.3e} s  (S=send R=recv C=compute B=barrier ·=idle)\n",
-        t_max
-    ));
+const LEGEND: &str = "S=send R=recv C=compute B=barrier P=chaos-pause ·=idle; lowercase=perturbed";
+
+fn span_of(traces: &[Vec<TraceEvent>]) -> f64 {
+    traces.iter().flat_map(|t| t.iter().map(|e| e.end)).fold(0.0f64, f64::max).max(1e-12)
+}
+
+fn render_rows(out: &mut String, traces: &[Vec<TraceEvent>], width: usize, t_max: f64) {
     for (rank, events) in traces.iter().enumerate() {
         let mut row = vec!['·'; width];
         for e in events {
@@ -82,6 +101,45 @@ pub fn render_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
         }
         out.push_str(&format!("rank {rank:>3} |{}|\n", row.iter().collect::<String>()));
     }
+}
+
+/// Render per-rank traces as an ASCII Gantt chart of `width` columns spanning
+/// `[0, t_max]`. Overlapping events on one rank keep the later glyph; idle time
+/// renders as `·`.
+pub fn render_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
+    let t_max = span_of(traces);
+    let mut out = String::new();
+    out.push_str(&format!("timeline 0 .. {t_max:.3e} s  ({LEGEND})\n"));
+    render_rows(&mut out, traces, width, t_max);
+    out
+}
+
+/// Like [`render_timeline`], with an extra `chaos` header row marking the
+/// injected perturbation windows `(start, end)` (e.g. from
+/// `chaos::CompiledChaos::windows`) as `#`. Open windows (`end = ∞`) are
+/// clamped to the traced span.
+pub fn render_timeline_with_chaos(
+    traces: &[Vec<TraceEvent>],
+    width: usize,
+    windows: &[(f64, f64)],
+) -> String {
+    let t_max = span_of(traces);
+    let mut out = String::new();
+    out.push_str(&format!("timeline 0 .. {t_max:.3e} s  ({LEGEND}; #=injected window)\n"));
+    let mut row = vec!['·'; width];
+    for &(start, end) in windows {
+        let end = end.min(t_max);
+        if end <= start {
+            continue;
+        }
+        let a = ((start / t_max) * width as f64).floor() as usize;
+        let b = ((end / t_max) * width as f64).ceil() as usize;
+        for cell in row.iter_mut().take(b.min(width)).skip(a.min(width)) {
+            *cell = '#';
+        }
+    }
+    out.push_str(&format!("chaos    |{}|\n", row.iter().collect::<String>()));
+    render_rows(&mut out, traces, width, t_max);
     out
 }
 
@@ -110,6 +168,10 @@ mod tests {
         assert!(t0.iter().any(|e| matches!(e.kind, TraceKind::Barrier)));
         let t1 = &report.results[1];
         assert!(t1.iter().any(|e| matches!(e.kind, TraceKind::Recv { src: 0, elems: 10 })));
+        // Without a chaos plan, nothing is tagged perturbed.
+        for tr in &report.results {
+            assert!(tr.iter().all(|e| !e.perturbed));
+        }
         // Events are time-ordered with non-negative spans.
         for tr in &report.results {
             for e in tr {
@@ -134,15 +196,46 @@ mod tests {
     fn renderer_produces_one_row_per_rank() {
         let traces = vec![
             vec![
-                TraceEvent { start: 0.0, end: 0.5, kind: TraceKind::Compute },
-                TraceEvent { start: 0.5, end: 1.0, kind: TraceKind::Send { dst: 1, elems: 4 } },
+                TraceEvent::new(0.0, 0.5, TraceKind::Compute),
+                TraceEvent::new(0.5, 1.0, TraceKind::Send { dst: 1, elems: 4 }),
             ],
-            vec![TraceEvent { start: 0.5, end: 1.0, kind: TraceKind::Recv { src: 0, elems: 4 } }],
+            vec![TraceEvent::new(0.5, 1.0, TraceKind::Recv { src: 0, elems: 4 })],
         ];
         let s = render_timeline(&traces, 20);
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[1].contains('C') && lines[1].contains('S'));
         assert!(lines[2].contains('R') && lines[2].contains('·'));
+    }
+
+    #[test]
+    fn perturbed_events_render_lowercase_and_pauses_render_p() {
+        let traces = vec![vec![
+            TraceEvent::tagged(0.0, 0.4, TraceKind::Compute, true),
+            TraceEvent::tagged(0.4, 0.6, TraceKind::Pause, true),
+            TraceEvent::new(0.6, 1.0, TraceKind::Compute),
+        ]];
+        let s = render_timeline(&traces, 20);
+        let row = s.lines().nth(1).expect("rank row");
+        assert!(row.contains('c'), "perturbed compute lowercased: {row}");
+        assert!(row.contains('P'), "pause glyph present: {row}");
+        assert!(row.contains('C'), "clean compute untouched: {row}");
+    }
+
+    #[test]
+    fn chaos_row_marks_windows_and_clamps_open_ends() {
+        let traces = vec![vec![TraceEvent::new(0.0, 1.0, TraceKind::Compute)]];
+        let s = render_timeline_with_chaos(&traces, 20, &[(0.5, f64::INFINITY)]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].starts_with("chaos"));
+        let marks = lines[1].chars().filter(|&c| c == '#').count();
+        assert!((9..=11).contains(&marks), "half the row marked: {}", lines[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "clamp the pair")]
+    #[cfg(debug_assertions)]
+    fn inverted_perturbed_pair_trips_debug_assert() {
+        let _ = TraceEvent::tagged(1.0, 0.5, TraceKind::Pause, true);
     }
 }

@@ -11,11 +11,15 @@
 #   design, e.g. on a single-core host).
 # - msgpath fails the script if the pooled message path loses to the boxed
 #   baseline (speedup < 1.0) at P = 16.
+# - chaos runs a tiny P=4 robustness sweep and fails the script if any
+#   perturbed cell beats its clean baseline (chaos must never help) or if a
+#   repeated chaos run is not bit-identical.
 #
 # Quick numbers go to target/*-gate.json so they never overwrite the checked-in
-# full-run BENCH_PR2.json / BENCH_PR4.json; regenerate those with
+# full-run BENCH_PR2.json / BENCH_PR4.json / BENCH_PR5.json; regenerate those with
 #   cargo run --release -p okbench --bin hotpath
 #   cargo run --release -p okbench --bin msgpath
+#   cargo run --release -p okbench --bin chaos
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,5 +40,8 @@ cargo run --release -p okbench --bin hotpath -- --quick --gate --out target/hotp
 
 echo "== message-path bench (quick, gated) =="
 cargo run --release -p okbench --bin msgpath -- --quick --gate --out target/msgpath-gate.json
+
+echo "== chaos robustness smoke (P=4, gated) =="
+cargo run --release -p okbench --bin chaos -- --gate --out target/chaos-gate.json
 
 echo "OK: all gates passed"
