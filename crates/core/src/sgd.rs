@@ -93,10 +93,9 @@ impl OkTopkSgd {
         self.t += 1;
 
         // Line 4: accumulate residuals into the fresh gradient — fused into the
-        // persistent accumulator buffer, no allocation.
-        for ((a, &e), &g) in self.acc.iter_mut().zip(&self.residual).zip(grad) {
-            *a = e + scale * g;
-        }
+        // persistent accumulator buffer, no allocation. Lane-vectorized and
+        // elementwise, so bit-identical to the scalar loop.
+        sparse::simd::fused_scale_add(&mut self.acc, &self.residual, grad, scale);
 
         // Line 5: O(k) sparse allreduce of the accumulator.
         let meta = self.allreduce.allreduce(comm, &self.acc, self.t);

@@ -1,30 +1,58 @@
 //! Dense kernels: matmul, bias, activations, softmax cross-entropy.
 //!
-//! All kernels operate on row-major `[rows, cols]` slices. They are written for
-//! clarity with cache-friendly loop orders (ikj matmul); model sizes in this
-//! reproduction are small enough that no blocking is needed.
+//! All kernels operate on row-major `[rows, cols]` slices.
 //!
-//! The three matmul kernels carry the forward/backward flops and are
-//! data-parallel: the public entry points dispatch chunked workers through the
-//! persistent `okpar` pool ([`okpar::run_chunks`] over partitions of the
-//! *output* space) — no threads are spawned per call. The thread count adapts
-//! to the problem: one worker per [`MATMUL_GRAIN_FLOPS`] multiply-accumulates,
-//! capped at [`okpar::configured_threads`] (the `OKTOPK_THREADS` knob), so
-//! small matmuls stay serial with zero dispatch overhead. Because each worker
-//! owns a disjoint slice of the output and walks it in the same order as the
-//! serial loop, every output element sees the identical sequence of f32
-//! operations: the result is bit-identical to the serial kernel for any thread
-//! count (asserted by the `kernel_parity` proptest suite). The `*_with_threads`
-//! variants take the thread count explicitly (no size gate) for tests and
-//! benches, which must not race on the process-global knob.
+//! The three matmul kernels carry the forward/backward flops and are blocked,
+//! register-tiled, and lane-vectorized:
+//!
+//! - [`matmul_acc`] and [`matmul_acc_xt`] gather the nonzero multipliers of
+//!   each [`KC`]-wide reduction block (ReLU activations make many of them
+//!   zero), then stream [`NC`]-wide output panels through the
+//!   [`sparse::simd::axpy4`] microkernel — four fused row-updates per pass,
+//!   one load/store of the output per element instead of four.
+//! - [`matmul_acc_wt`] computes four dot products at once over shared loads of
+//!   the `dy` row (a 4-way register tile of independent scalar accumulator
+//!   chains). It is deliberately *not* lane-vectorized: splitting one dot
+//!   product across lanes would reassociate the f32 sum; four independent
+//!   chains give the ILP without touching any accumulation order.
+//!
+//! Every tiling decision preserves the exact per-element operation sequence of
+//! the naive ikj loops (ascending reduction index, zero-skip included), so the
+//! results are **bit-identical** to the scalar reference at every lane width —
+//! asserted by the `kernel_parity` proptest suite against an explicit-loop
+//! reference implementation.
+//!
+//! The kernels are also data-parallel: the public entry points dispatch chunked
+//! workers through the persistent `okpar` pool ([`okpar::run_chunks`] over
+//! partitions of the *output* space) — no threads are spawned per call, and
+//! SIMD composes with the chunking (lanes inside each worker's panel walk).
+//! The thread count adapts to the problem: one worker per
+//! [`MATMUL_GRAIN_FLOPS`] multiply-accumulates, capped at
+//! [`okpar::configured_threads`] (the `OKTOPK_THREADS` knob), so small matmuls
+//! stay serial with zero dispatch overhead. Because each worker owns a disjoint
+//! slice of the output and walks it in the same order as the serial loop, the
+//! result is bit-identical to the serial kernel for any thread count. The
+//! `*_with_threads` variants take the thread count explicitly (no size gate)
+//! for tests and benches, which must not race on the process-global knob; the
+//! `*_with_lanes` variants force the SIMD width the same way.
 
 use okpar::SendPtr;
+use sparse::simd::{self, Lanes};
 
 /// Multiply-accumulate count per worker chunk — the matmul granularity cutoff.
 /// One worker per this many MACs (so problems under twice this stay serial);
 /// calibrated so a chunk's arithmetic (tens of µs) dwarfs the ~1µs pool
 /// dispatch.
 pub const MATMUL_GRAIN_FLOPS: usize = 1 << 15;
+
+/// Reduction-block width for the nonzero gather in [`matmul_acc`] /
+/// [`matmul_acc_xt`]: the `(index, multiplier)` pairs of one block fit in two
+/// stack arrays (512 B) and the gathered run feeds the 4-row microkernel.
+pub const KC: usize = 64;
+
+/// Output-panel width (f32 elements) for the cache-blocked column walk: one
+/// panel of the output row plus four source rows stay L1-resident (20 KiB).
+pub const NC: usize = 1024;
 
 fn matmul_threads(rows: usize, inner: usize, cols: usize) -> usize {
     okpar::threads_for(rows.saturating_mul(inner).saturating_mul(cols), MATMUL_GRAIN_FLOPS)
@@ -49,28 +77,89 @@ pub fn matmul_acc_with_threads(
     debug_assert_eq!(w.len(), inner * cols);
     debug_assert_eq!(out.len(), rows * cols);
     if okpar::chunk_count(rows, threads) <= 1 {
-        return matmul_acc_rows(x, w, out, rows, inner, cols);
+        return matmul_acc_rows(x, w, out, rows, inner, cols, simd::lanes());
     }
+    let lanes = simd::lanes();
     let out_ptr = SendPtr::new(out.as_mut_ptr());
     okpar::run_chunks(rows, threads, |_, r| {
         // Safety: chunk row-ranges are disjoint, so the output row blocks are.
         let op = unsafe { out_ptr.slice_mut(r.start * cols, r.len() * cols) };
-        matmul_acc_rows(&x[r.start * inner..r.end * inner], w, op, r.len(), inner, cols);
+        matmul_acc_rows(&x[r.start * inner..r.end * inner], w, op, r.len(), inner, cols, lanes);
     });
 }
 
-/// Serial row-range worker for [`matmul_acc`].
-fn matmul_acc_rows(x: &[f32], w: &[f32], out: &mut [f32], rows: usize, inner: usize, cols: usize) {
+/// [`matmul_acc`] serial at a forced SIMD width (the lane-parity test surface);
+/// bit-identical to the auto path for every `lanes`.
+pub fn matmul_acc_with_lanes(
+    x: &[f32],
+    w: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    inner: usize,
+    cols: usize,
+    lanes: Lanes,
+) {
+    debug_assert_eq!(x.len(), rows * inner);
+    debug_assert_eq!(w.len(), inner * cols);
+    debug_assert_eq!(out.len(), rows * cols);
+    matmul_acc_rows(x, w, out, rows, inner, cols, lanes);
+}
+
+/// Tiled row-range worker for [`matmul_acc`]: gather the nonzero `(i, x[b,i])`
+/// pairs of each [`KC`] block, then run the gathered quads through the
+/// [`simd::axpy4`] microkernel over [`NC`]-wide panels of the output row.
+/// Per output element the reduction order is ascending `i` with zero-skip —
+/// exactly the naive ikj loop, hence bit-identical.
+fn matmul_acc_rows(
+    x: &[f32],
+    w: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    inner: usize,
+    cols: usize,
+    lanes: Lanes,
+) {
+    let mut idxs = [0usize; KC];
+    let mut vals = [0f32; KC];
     for b in 0..rows {
         let xb = &x[b * inner..(b + 1) * inner];
         let ob = &mut out[b * cols..(b + 1) * cols];
-        for (i, &xv) in xb.iter().enumerate() {
-            if xv == 0.0 {
-                continue; // common after ReLU
+        for bs in (0..inner).step_by(KC) {
+            let be = (bs + KC).min(inner);
+            let mut m = 0usize;
+            for (i, &xv) in xb[bs..be].iter().enumerate() {
+                if xv != 0.0 {
+                    // Gather survivors only: the quad kernel must never inject
+                    // an `+= 0.0·w` term the scalar loop skipped (common after
+                    // ReLU, and adding 0.0 is not a bitwise no-op for -0.0).
+                    idxs[m] = bs + i;
+                    vals[m] = xv;
+                    m += 1;
+                }
             }
-            let wrow = &w[i * cols..(i + 1) * cols];
-            for (o, &wv) in ob.iter_mut().zip(wrow) {
-                *o += xv * wv;
+            if m == 0 {
+                continue;
+            }
+            for jp in (0..cols).step_by(NC) {
+                let je = (jp + NC).min(cols);
+                let op = &mut ob[jp..je];
+                let mut q = 0usize;
+                while q + 4 <= m {
+                    let rows4 = [
+                        &w[idxs[q] * cols + jp..idxs[q] * cols + je],
+                        &w[idxs[q + 1] * cols + jp..idxs[q + 1] * cols + je],
+                        &w[idxs[q + 2] * cols + jp..idxs[q + 2] * cols + je],
+                        &w[idxs[q + 3] * cols + jp..idxs[q + 3] * cols + je],
+                    ];
+                    let a = [vals[q], vals[q + 1], vals[q + 2], vals[q + 3]];
+                    simd::axpy4_with_lanes(op, rows4, a, lanes);
+                    q += 4;
+                }
+                while q < m {
+                    let wrow = &w[idxs[q] * cols + jp..idxs[q] * cols + je];
+                    simd::axpy_with_lanes(op, wrow, vals[q], lanes);
+                    q += 1;
+                }
             }
         }
     }
@@ -113,7 +202,25 @@ pub fn matmul_acc_wt_with_threads(
     });
 }
 
-/// Serial row-range worker for [`matmul_acc_wt`].
+/// Four dot products against a shared left vector, as four *independent*
+/// scalar accumulator chains walking `j` in ascending order. This is register
+/// tiling without lane vectorization: each accumulator sees the exact f32
+/// operation sequence of a lone serial dot product (no reassociation), while
+/// the four chains give the core ILP and amortize the `d` loads 4×.
+#[inline]
+fn dot4(d: &[f32], w0: &[f32], w1: &[f32], w2: &[f32], w3: &[f32]) -> [f32; 4] {
+    let mut a = [0.0f32; 4];
+    for (j, &dv) in d.iter().enumerate() {
+        a[0] += dv * w0[j];
+        a[1] += dv * w1[j];
+        a[2] += dv * w2[j];
+        a[3] += dv * w3[j];
+    }
+    a
+}
+
+/// Register-tiled row-range worker for [`matmul_acc_wt`]: four outputs per
+/// pass via [`dot4`]. Bit-identical to the per-output serial dot products.
 fn matmul_acc_wt_rows(
     dy: &[f32],
     w: &[f32],
@@ -125,13 +232,29 @@ fn matmul_acc_wt_rows(
     for b in 0..rows {
         let dyb = &dy[b * cols..(b + 1) * cols];
         let ob = &mut out[b * inner..(b + 1) * inner];
-        for (i, ov) in ob.iter_mut().enumerate() {
+        let mut i = 0usize;
+        while i + 4 <= inner {
+            let a = dot4(
+                dyb,
+                &w[i * cols..(i + 1) * cols],
+                &w[(i + 1) * cols..(i + 2) * cols],
+                &w[(i + 2) * cols..(i + 3) * cols],
+                &w[(i + 3) * cols..(i + 4) * cols],
+            );
+            ob[i] += a[0];
+            ob[i + 1] += a[1];
+            ob[i + 2] += a[2];
+            ob[i + 3] += a[3];
+            i += 4;
+        }
+        while i < inner {
             let wrow = &w[i * cols..(i + 1) * cols];
             let mut acc = 0.0f32;
             for (d, wv) in dyb.iter().zip(wrow) {
                 acc += d * wv;
             }
-            *ov += acc;
+            ob[i] += acc;
+            i += 1;
         }
     }
 }
@@ -167,18 +290,44 @@ pub fn matmul_acc_xt_with_threads(
     debug_assert_eq!(dy.len(), rows * cols);
     debug_assert_eq!(dw.len(), inner * cols);
     if okpar::chunk_count(inner, threads) <= 1 {
-        return matmul_acc_xt_inner(x, dy, dw, rows, inner, cols, 0..inner);
+        return matmul_acc_xt_inner(x, dy, dw, rows, inner, cols, 0..inner, simd::lanes());
     }
+    let lanes = simd::lanes();
     let dw_ptr = SendPtr::new(dw.as_mut_ptr());
     okpar::run_chunks(inner, threads, |_, r| {
         // Safety: chunk inner-ranges are disjoint, so the dw row blocks are.
         let dwp = unsafe { dw_ptr.slice_mut(r.start * cols, r.len() * cols) };
-        matmul_acc_xt_inner(x, dy, dwp, rows, inner, cols, r);
+        matmul_acc_xt_inner(x, dy, dwp, rows, inner, cols, r, lanes);
     });
 }
 
-/// Serial worker for [`matmul_acc_xt`] restricted to inner indexes `i_range`;
+/// [`matmul_acc_xt`] serial at a forced SIMD width (the lane-parity test
+/// surface); bit-identical to the auto path for every `lanes`.
+pub fn matmul_acc_xt_with_lanes(
+    x: &[f32],
+    dy: &[f32],
+    dw: &mut [f32],
+    rows: usize,
+    inner: usize,
+    cols: usize,
+    lanes: Lanes,
+) {
+    debug_assert_eq!(x.len(), rows * inner);
+    debug_assert_eq!(dy.len(), rows * cols);
+    debug_assert_eq!(dw.len(), inner * cols);
+    matmul_acc_xt_inner(x, dy, dw, rows, inner, cols, 0..inner, lanes);
+}
+
+/// Tiled worker for [`matmul_acc_xt`] restricted to inner indexes `i_range`;
 /// `dw` holds only that block's rows.
+///
+/// The loop nest is `i` outer / `b` inner (the transpose of the naive kernel's
+/// order): per `dw` row, gather the nonzero `(b, x[b,i])` pairs of each [`KC`]
+/// batch block and run the quads through [`simd::axpy4`] over [`NC`]-wide
+/// panels. Every `dw[i, j]` still accumulates its batch contributions in
+/// ascending `b` with zero-skip — the identical f32 sequence the naive
+/// `b`-outer loop produces, because distinct `dw` rows never interact.
+#[allow(clippy::too_many_arguments)]
 fn matmul_acc_xt_inner(
     x: &[f32],
     dy: &[f32],
@@ -187,19 +336,47 @@ fn matmul_acc_xt_inner(
     inner: usize,
     cols: usize,
     i_range: std::ops::Range<usize>,
+    lanes: Lanes,
 ) {
-    for b in 0..rows {
-        let xb = &x[b * inner..(b + 1) * inner];
-        let dyb = &dy[b * cols..(b + 1) * cols];
-        for i in i_range.clone() {
-            let xv = xb[i];
-            if xv == 0.0 {
+    let mut bidx = [0usize; KC];
+    let mut vals = [0f32; KC];
+    for i in i_range.clone() {
+        let local = i - i_range.start;
+        let dwrow = &mut dw[local * cols..(local + 1) * cols];
+        for bs in (0..rows).step_by(KC) {
+            let be = (bs + KC).min(rows);
+            let mut m = 0usize;
+            for b in bs..be {
+                let xv = x[b * inner + i];
+                if xv != 0.0 {
+                    bidx[m] = b;
+                    vals[m] = xv;
+                    m += 1;
+                }
+            }
+            if m == 0 {
                 continue;
             }
-            let local = i - i_range.start;
-            let dwrow = &mut dw[local * cols..(local + 1) * cols];
-            for (dwv, &d) in dwrow.iter_mut().zip(dyb) {
-                *dwv += xv * d;
+            for jp in (0..cols).step_by(NC) {
+                let je = (jp + NC).min(cols);
+                let dwp = &mut dwrow[jp..je];
+                let mut q = 0usize;
+                while q + 4 <= m {
+                    let rows4 = [
+                        &dy[bidx[q] * cols + jp..bidx[q] * cols + je],
+                        &dy[bidx[q + 1] * cols + jp..bidx[q + 1] * cols + je],
+                        &dy[bidx[q + 2] * cols + jp..bidx[q + 2] * cols + je],
+                        &dy[bidx[q + 3] * cols + jp..bidx[q + 3] * cols + je],
+                    ];
+                    let a = [vals[q], vals[q + 1], vals[q + 2], vals[q + 3]];
+                    simd::axpy4_with_lanes(dwp, rows4, a, lanes);
+                    q += 4;
+                }
+                while q < m {
+                    let dyrow = &dy[bidx[q] * cols + jp..bidx[q] * cols + je];
+                    simd::axpy_with_lanes(dwp, dyrow, vals[q], lanes);
+                    q += 1;
+                }
             }
         }
     }

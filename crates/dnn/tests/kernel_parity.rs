@@ -1,4 +1,4 @@
-//! Parallel/serial parity for the chunked dense kernels.
+//! Parallel/serial and SIMD/scalar parity for the chunked dense kernels.
 //!
 //! `matmul_acc*_with_threads` partition the output (or, for `xt`, the inner
 //! dimension) into disjoint blocks and keep the serial per-element accumulation
@@ -7,9 +7,18 @@
 //! the partitioned dimension and counts (8, 17) oversubscribed beyond any
 //! plausible core count. Every parallel call goes through the persistent
 //! okpar worker pool.
+//!
+//! The tiled/lane-vectorized kernels additionally promise bit-identity to the
+//! *naive explicit loops* (ascending reduction index, zero-skip) at every SIMD
+//! lane width — checked here against reference implementations written out
+//! longhand, at widths {scalar, 4, 8} via the `*_with_lanes` surface.
 
-use dnn::ops::{matmul_acc_with_threads, matmul_acc_wt_with_threads, matmul_acc_xt_with_threads};
+use dnn::ops::{
+    matmul_acc_with_lanes, matmul_acc_with_threads, matmul_acc_wt_with_threads,
+    matmul_acc_xt_with_lanes, matmul_acc_xt_with_threads,
+};
 use proptest::prelude::*;
+use sparse::simd::Lanes;
 
 const THREADS: [usize; 6] = [1, 2, 4, 7, 8, 17];
 
@@ -88,6 +97,131 @@ proptest! {
             let mut got = init.clone();
             matmul_acc_with_threads(&a, &b, &mut got, 7, 5, 3, threads);
             prop_assert_eq!(bits(&got), bits(&want), "threads={}", threads);
+        }
+    }
+}
+
+/// Naive ikj reference for `matmul_acc` — the exact loops the tiled kernel
+/// must reproduce bit-for-bit (ascending `i`, zero-skip).
+fn reference_matmul_acc(
+    x: &[f32],
+    w: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    inner: usize,
+    cols: usize,
+) {
+    for b in 0..rows {
+        for i in 0..inner {
+            let xv = x[b * inner + i];
+            if xv == 0.0 {
+                continue;
+            }
+            for j in 0..cols {
+                out[b * cols + j] += xv * w[i * cols + j];
+            }
+        }
+    }
+}
+
+/// Naive reference for `matmul_acc_xt` — batch-outer accumulation, zero-skip.
+fn reference_matmul_acc_xt(
+    x: &[f32],
+    dy: &[f32],
+    dw: &mut [f32],
+    rows: usize,
+    inner: usize,
+    cols: usize,
+) {
+    for b in 0..rows {
+        for i in 0..inner {
+            let xv = x[b * inner + i];
+            if xv == 0.0 {
+                continue;
+            }
+            for j in 0..cols {
+                dw[i * cols + j] += xv * dy[b * cols + j];
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tiled_matmul_acc_matches_naive_reference_at_all_lane_widths(
+        (rows, inner, cols) in (1usize..7, 1usize..80, 1usize..12),
+        seed in 0u64..1000,
+    ) {
+        // `inner` ranges past KC=64 so the gather-block boundary is crossed.
+        let (x, w, init) = materialize(rows * inner, inner * cols, rows * cols, seed);
+        let mut want = init.clone();
+        reference_matmul_acc(&x, &w, &mut want, rows, inner, cols);
+        for lanes in Lanes::ALL {
+            let mut got = init.clone();
+            matmul_acc_with_lanes(&x, &w, &mut got, rows, inner, cols, lanes);
+            prop_assert_eq!(bits(&got), bits(&want), "lanes={:?}", lanes);
+        }
+    }
+
+    #[test]
+    fn tiled_matmul_acc_xt_matches_naive_reference_at_all_lane_widths(
+        (rows, inner, cols) in (1usize..80, 1usize..7, 1usize..12),
+        seed in 0u64..1000,
+    ) {
+        // `rows` (the reduction dim here) ranges past KC=64.
+        let (x, dy, init) = materialize(rows * inner, rows * cols, inner * cols, seed);
+        let mut want = init.clone();
+        reference_matmul_acc_xt(&x, &dy, &mut want, rows, inner, cols);
+        for lanes in Lanes::ALL {
+            let mut got = init.clone();
+            matmul_acc_xt_with_lanes(&x, &dy, &mut got, rows, inner, cols, lanes);
+            prop_assert_eq!(bits(&got), bits(&want), "lanes={:?}", lanes);
+        }
+    }
+
+    #[test]
+    fn register_tiled_matmul_acc_wt_matches_naive_dots(
+        (rows, inner, cols) in (1usize..7, 1usize..40, 1usize..12),
+        seed in 0u64..1000,
+    ) {
+        // The 4-way dot tile must reproduce each lone dot product exactly
+        // (`inner` crosses the 4-output tile boundary at every remainder).
+        let (dy, w, init) = materialize(rows * cols, inner * cols, rows * inner, seed);
+        let mut want = init.clone();
+        for b in 0..rows {
+            for i in 0..inner {
+                let mut acc = 0.0f32;
+                for j in 0..cols {
+                    acc += dy[b * cols + j] * w[i * cols + j];
+                }
+                want[b * inner + i] += acc;
+            }
+        }
+        let mut got = init.clone();
+        matmul_acc_wt_with_threads(&dy, &w, &mut got, rows, inner, cols, 1);
+        prop_assert_eq!(bits(&got), bits(&want));
+    }
+}
+
+/// Column counts straddling the NC=1024 panel boundary, at every lane width.
+#[test]
+fn panel_boundary_columns_match_reference() {
+    for &(rows, inner, cols) in &[(2usize, 5usize, 1023usize), (1, 9, 1024), (2, 3, 1030)] {
+        let (x, w, init) = materialize(rows * inner, inner * cols, rows * cols, 77);
+        let mut want = init.clone();
+        reference_matmul_acc(&x, &w, &mut want, rows, inner, cols);
+        let (x2, dy2, init2) = materialize(rows * inner, rows * cols, inner * cols, 78);
+        let mut want2 = init2.clone();
+        reference_matmul_acc_xt(&x2, &dy2, &mut want2, rows, inner, cols);
+        for lanes in Lanes::ALL {
+            let mut got = init.clone();
+            matmul_acc_with_lanes(&x, &w, &mut got, rows, inner, cols, lanes);
+            assert_eq!(got, want, "matmul_acc {rows}x{inner}x{cols} lanes={lanes:?}");
+            let mut got2 = init2.clone();
+            matmul_acc_xt_with_lanes(&x2, &dy2, &mut got2, rows, inner, cols, lanes);
+            assert_eq!(got2, want2, "matmul_acc_xt {rows}x{inner}x{cols} lanes={lanes:?}");
         }
     }
 }

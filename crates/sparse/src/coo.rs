@@ -169,6 +169,10 @@ impl CooGradient {
     }
 
     /// Scatter into a dense vector of length `n`, adding values at their indexes.
+    ///
+    /// Deliberately scalar: the writes are random-access (gather/scatter needs
+    /// AVX-512 to vectorize profitably) and the loop is O(k), not O(n) — it is
+    /// not on the hot path the `simd` module covers.
     pub fn scatter_add(&self, dense: &mut [f32]) {
         for (i, v) in self.iter() {
             dense[i as usize] += v;
@@ -230,11 +234,10 @@ impl CooGradient {
         Self { indexes, values }
     }
 
-    /// Scale all values by `c`.
+    /// Scale all values by `c` (lane-vectorized; elementwise, so bit-identical
+    /// to the scalar loop).
     pub fn scale(&mut self, c: f32) {
-        for v in &mut self.values {
-            *v *= c;
-        }
+        crate::simd::scale_inplace(&mut self.values, c);
     }
 
     /// ℓ2 norm of the values.

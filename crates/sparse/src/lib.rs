@@ -15,6 +15,8 @@
 //! - balanced gradient-space partitioning for split-and-reduce ([`partition`]),
 //! - pooled scratch buffers + parallel scans for the zero-allocation steady-state
 //!   selection path ([`scratch`]),
+//! - explicit-lane SIMD kernels for the O(n) hot loops, with runtime dispatch and
+//!   a scalar fallback ([`simd`]),
 //! - numeric utilities ([`stats`]): erf, inverse normal CDF, moments, histograms.
 
 pub mod coo;
@@ -22,6 +24,7 @@ pub mod partition;
 pub mod quant;
 pub mod scratch;
 pub mod select;
+pub mod simd;
 pub mod stats;
 pub mod threshold;
 

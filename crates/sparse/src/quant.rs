@@ -55,7 +55,7 @@ pub struct QuantizedCoo {
 impl QuantizedCoo {
     /// Quantize a COO gradient.
     pub fn quantize(g: &CooGradient, mode: QuantMode) -> Self {
-        let max_abs = g.values().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        let max_abs = crate::simd::max_abs(g.values());
         let (scale, q16, q8) = match mode {
             QuantMode::Q16 => {
                 let scale = if max_abs > 0.0 { max_abs / i16::MAX as f32 } else { 0.0 };

@@ -23,6 +23,11 @@
 //! steady-state guarantee holds on both paths: the serial path touches only
 //! pooled buffers, and the pool's dispatch enqueues into a queue retained for
 //! the process lifetime (allocation-free on the caller thread after warm-up).
+//!
+//! Within each chunk (and on the serial path) the O(n) loop bodies run through
+//! the explicit-lane kernels in [`crate::simd`], so SIMD composes with the
+//! okpar data-parallelism. The lane kernels are bit-identical to the scalar
+//! scan at every width, so the parity guarantee above is unchanged.
 
 use crate::coo::CooGradient;
 use crate::select::quickselect;
@@ -104,13 +109,6 @@ impl SelectScratch {
     }
 }
 
-/// `select_ge` keep-predicate (exact zeros carry no information; see
-/// [`crate::select::select_ge`]).
-#[inline]
-fn keep(v: f32, threshold: f32) -> bool {
-    v.abs() >= threshold && v != 0.0
-}
-
 /// Pick the thread count for an auto-dispatched pass over `len` elements:
 /// one worker per [`SCAN_GRAIN`] elements, capped at the configured count.
 fn auto_threads(len: usize) -> usize {
@@ -138,12 +136,7 @@ pub fn select_ge_with_threads(
     let (mut idx, mut val) = scratch.take_pair();
     let chunks = okpar::chunk_count(dense.len(), threads);
     if chunks <= 1 {
-        for (i, &v) in dense.iter().enumerate() {
-            if keep(v, threshold) {
-                idx.push(i as u32);
-                val.push(v);
-            }
-        }
+        crate::simd::scan_keep_append(dense, threshold, 0, &mut idx, &mut val);
     } else {
         // Two passes so every entry lands exactly where the serial scan would
         // put it: count matches per chunk, prefix-sum into disjoint output
@@ -154,7 +147,7 @@ pub fn select_ge_with_threads(
         counts.resize(chunks, 0);
         let counts_ptr = SendPtr::new(counts.as_mut_ptr());
         okpar::run_chunks(dense.len(), threads, |ci, r| {
-            let c = dense[r].iter().filter(|&&v| keep(v, threshold)).count();
+            let c = crate::simd::count_keep(&dense[r], threshold);
             // Safety: each chunk index writes only its own counts slot.
             unsafe { *counts_ptr.get().add(ci) = c };
         });
@@ -175,14 +168,7 @@ pub fn select_ge_with_threads(
             let ip = unsafe { idx_ptr.slice_mut(offsets[ci], counts[ci]) };
             let vp = unsafe { val_ptr.slice_mut(offsets[ci], counts[ci]) };
             let base = r.start as u32;
-            let mut w = 0usize;
-            for (off, &v) in dense[r].iter().enumerate() {
-                if keep(v, threshold) {
-                    ip[w] = base + off as u32;
-                    vp[w] = v;
-                    w += 1;
-                }
-            }
+            let w = crate::simd::scan_keep_write(&dense[r], threshold, base, ip, vp);
             debug_assert_eq!(w, ip.len());
         });
     }
@@ -211,17 +197,15 @@ pub fn exact_threshold_with_threads(
     let k = k.min(values.len());
     let SelectScratch { mags, .. } = scratch;
     mags.clear();
+    mags.resize(values.len(), 0.0);
     if okpar::chunk_count(values.len(), threads) <= 1 {
-        mags.extend(values.iter().map(|v| v.abs()));
+        crate::simd::abs_fill(mags, values);
     } else {
-        mags.resize(values.len(), 0.0);
         let mags_ptr = SendPtr::new(mags.as_mut_ptr());
         okpar::run_chunks(values.len(), threads, |_, r| {
             // Safety: chunk ranges are disjoint windows of the mags buffer.
             let part = unsafe { mags_ptr.slice_mut(r.start, r.len()) };
-            for (m, &v) in part.iter_mut().zip(&values[r]) {
-                *m = v.abs();
-            }
+            crate::simd::abs_fill(part, &values[r]);
         });
     }
     // k-th largest magnitude = element at position (n - k) in ascending order.

@@ -1,0 +1,969 @@
+//! Explicit-lane SIMD kernels for the selection/residual hot path.
+//!
+//! Every Ok-Topk step burns most of its compute in a handful of O(n) per-element
+//! passes: the threshold count/scan, the |value| fill feeding quickselect, the
+//! survivor filter, and the residual accumulate. This module vectorizes those
+//! passes with explicit lanes behind a runtime capability dispatch with a
+//! scalar fallback. Two kinds of kernels, deliberately implemented differently:
+//!
+//! - **Compare/mask kernels** (counts, keep-scans) use hand-written AVX2/SSE2
+//!   intrinsics on x86-64 — the compare → movemask → trailing_zeros survivor
+//!   emission is a shape LLVM does not autovectorize, and it is worth >3× on
+//!   the steady-state threshold scan.
+//! - **Elementwise streaming kernels** (abs-fill, residual fuse, scale, axpy)
+//!   use portable fixed-width `[f32; L]` cores that LLVM autovectorizes at the
+//!   build's baseline ISA. Explicit `target_feature` wrappers were measured
+//!   *slower* here (see the note on the x86 module): these loops are
+//!   memory-bound, so wider registers add nothing.
+//!
+//! ## Selection and fallback rules
+//!
+//! The lane width is resolved **once** per process (first use) from, in order:
+//!
+//! 1. the `simd` cargo feature (on by default; compiled out → scalar always);
+//! 2. the `OKTOPK_SIMD` environment variable:
+//!    `off`/`0`/`scalar` force the scalar path, `4`/`w4`/`sse` force 4 lanes,
+//!    `8`/`w8`/`avx2` request 8 lanes (granted only if the CPU has AVX2),
+//!    `on`/`auto`/unset pick the widest supported width;
+//! 3. runtime CPU detection: AVX2 → 8 lanes, x86-64 baseline SSE2 → 4 lanes,
+//!    aarch64 NEON → 4 lanes (portable cores, NEON codegen), otherwise scalar.
+//!
+//! [`caps`] reports the resolved state; bench harnesses record it in their JSON
+//! headers so perf trajectories across hosts stay interpretable.
+//!
+//! ## Bit-compatibility (reassociation tolerance policy)
+//!
+//! Every kernel here is **bit-identical to the scalar reference at every lane
+//! width** — asserted by the `lane_parity` proptest suite. That is possible
+//! because none of them reassociates a float reduction:
+//!
+//! - counts are integer reductions (order-free);
+//! - `abs_fill`, `fused_scale_add`, `scale_inplace`, `axpy`/`axpy4` are
+//!   elementwise (each output element sees the exact scalar operation sequence —
+//!   `axpy4` adds its four terms in ascending-row order, matching a serial
+//!   one-row-at-a-time loop);
+//! - the keep-scan emits survivors in index order off a lane mask;
+//! - `max_abs` is a max-reduction: `max` is associative and commutative, so any
+//!   lane split yields the same result on the NaN-free inputs the pipeline
+//!   carries (and `f32::max` drops NaN in either operand, so even a stray NaN
+//!   cannot make widths disagree).
+//!
+//! Kernels that *would* need to reassociate (e.g. a lane-parallel dot product)
+//! are deliberately not provided; the dnn matmul family instead uses
+//! register-tiled formulations that keep each output element's accumulation
+//! order serial (see `dnn::ops`). If a future kernel must reassociate, its
+//! parity test drops from bitwise equality to a documented relative-error
+//! tolerance — that is the only sanctioned relaxation.
+//!
+//! The explicit `*_with_lanes` variants take the width as a parameter (for
+//! tests and benches, which must not depend on the process-global resolution);
+//! the plain names auto-dispatch on [`caps`]. Forced widths the CPU cannot
+//! accelerate still produce correct results through the portable cores.
+
+use std::sync::OnceLock;
+
+/// Lane width for the kernels in this module.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lanes {
+    /// Scalar reference path (1 element per step).
+    S1,
+    /// 4-wide lanes (SSE2 on x86-64, NEON-friendly portable core elsewhere).
+    W4,
+    /// 8-wide lanes (AVX2 on x86-64, portable core elsewhere).
+    W8,
+}
+
+impl Lanes {
+    /// Number of f32 elements processed per lane step.
+    pub fn width(self) -> usize {
+        match self {
+            Lanes::S1 => 1,
+            Lanes::W4 => 4,
+            Lanes::W8 => 8,
+        }
+    }
+
+    /// All widths, for parity sweeps.
+    pub const ALL: [Lanes; 3] = [Lanes::S1, Lanes::W4, Lanes::W8];
+}
+
+/// Resolved SIMD capability of this process (see module docs for the rules).
+#[derive(Clone, Debug)]
+pub struct SimdCaps {
+    /// The lane width the auto-dispatching kernels use.
+    pub lanes: Lanes,
+    /// Human-readable ISA the width maps to (`"avx2"`, `"sse2"`, `"neon"`,
+    /// `"portable"`, `"scalar"`).
+    pub isa: &'static str,
+    /// Raw `OKTOPK_SIMD` value at first use (`None` if unset).
+    pub env: Option<String>,
+    /// Whether the `simd` cargo feature was compiled in.
+    pub compiled: bool,
+    /// True when the scalar path was *forced* (feature off or `OKTOPK_SIMD=off`)
+    /// rather than the host simply lacking vector units.
+    pub forced_scalar: bool,
+}
+
+static CAPS: OnceLock<SimdCaps> = OnceLock::new();
+
+fn widest_supported() -> (Lanes, &'static str) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return (Lanes::W8, "avx2");
+        }
+        return (Lanes::W4, "sse2"); // x86-64 baseline
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        return (Lanes::W4, "neon"); // NEON is baseline on aarch64
+    }
+    #[allow(unreachable_code)]
+    (Lanes::S1, "scalar")
+}
+
+fn detect() -> SimdCaps {
+    let env = std::env::var("OKTOPK_SIMD").ok();
+    let compiled = cfg!(feature = "simd");
+    if !compiled {
+        return SimdCaps { lanes: Lanes::S1, isa: "scalar", env, compiled, forced_scalar: true };
+    }
+    let (best, best_isa) = widest_supported();
+    let choice = env.as_deref().map(|s| s.trim().to_ascii_lowercase());
+    match choice.as_deref() {
+        Some("off") | Some("0") | Some("scalar") => {
+            SimdCaps { lanes: Lanes::S1, isa: "scalar", env, compiled, forced_scalar: true }
+        }
+        Some("4") | Some("w4") | Some("sse") => {
+            let lanes = if best.width() >= 4 { Lanes::W4 } else { best };
+            let isa = if lanes == Lanes::W4 {
+                if best_isa == "avx2" {
+                    "sse2"
+                } else {
+                    best_isa
+                }
+            } else {
+                best_isa
+            };
+            SimdCaps { lanes, isa, env, compiled, forced_scalar: false }
+        }
+        Some("8") | Some("w8") | Some("avx2") => {
+            if best == Lanes::W8 {
+                SimdCaps { lanes: Lanes::W8, isa: best_isa, env, compiled, forced_scalar: false }
+            } else {
+                eprintln!(
+                    "sparse::simd: OKTOPK_SIMD requested 8 lanes but the host supports only \
+                     {} ({}); using that instead",
+                    best.width(),
+                    best_isa
+                );
+                SimdCaps { lanes: best, isa: best_isa, env, compiled, forced_scalar: false }
+            }
+        }
+        None | Some("on") | Some("auto") | Some("") => {
+            SimdCaps { lanes: best, isa: best_isa, env, compiled, forced_scalar: false }
+        }
+        Some(other) => {
+            eprintln!(
+                "sparse::simd: ignoring invalid OKTOPK_SIMD={other:?} \
+                 (want off|4|8|auto); auto-detecting"
+            );
+            SimdCaps { lanes: best, isa: best_isa, env, compiled, forced_scalar: false }
+        }
+    }
+}
+
+/// The process-wide resolved SIMD capability (first call snapshots
+/// `OKTOPK_SIMD` and probes the CPU; later env mutations are ignored, matching
+/// the `OKTOPK_THREADS` snapshot semantics in `okpar`).
+pub fn caps() -> &'static SimdCaps {
+    CAPS.get_or_init(detect)
+}
+
+/// The lane width the auto-dispatching kernels use.
+pub fn lanes() -> Lanes {
+    caps().lanes
+}
+
+// ---------------------------------------------------------------------------
+// Portable fixed-width cores. `#[inline(always)]` so the x86 `target_feature`
+// wrappers below inline them and codegen with the wider ISA enabled.
+// ---------------------------------------------------------------------------
+
+#[inline(always)]
+fn count_abs_ge_core<const L: usize>(values: &[f32], th: f32) -> usize {
+    let mut lane = [0usize; L];
+    let mut it = values.chunks_exact(L);
+    for chunk in &mut it {
+        for j in 0..L {
+            lane[j] += usize::from(chunk[j].abs() >= th);
+        }
+    }
+    let mut total: usize = lane.iter().sum();
+    for v in it.remainder() {
+        total += usize::from(v.abs() >= th);
+    }
+    total
+}
+
+/// `select_ge` keep predicate: survivors have `|v| >= th` and are not exact
+/// zeros (an explicit zero carries no information in a sparse gradient).
+#[inline(always)]
+fn keep(v: f32, th: f32) -> bool {
+    v.abs() >= th && v != 0.0
+}
+
+#[inline(always)]
+fn count_keep_core<const L: usize>(values: &[f32], th: f32) -> usize {
+    let mut lane = [0usize; L];
+    let mut it = values.chunks_exact(L);
+    for chunk in &mut it {
+        for j in 0..L {
+            lane[j] += usize::from(keep(chunk[j], th));
+        }
+    }
+    let mut total: usize = lane.iter().sum();
+    for &v in it.remainder() {
+        total += usize::from(keep(v, th));
+    }
+    total
+}
+
+/// Bitmask of keep-lanes for one L-block (bit j = block[j] survives).
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+#[inline(always)]
+fn keep_mask_core<const L: usize>(block: &[f32], th: f32) -> u32 {
+    let mut mask = 0u32;
+    for j in 0..L {
+        mask |= u32::from(keep(block[j], th)) << j;
+    }
+    mask
+}
+
+#[inline(always)]
+fn abs_fill_core<const L: usize>(dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    let mut d = dst.chunks_exact_mut(L);
+    let mut s = src.chunks_exact(L);
+    for (dc, sc) in (&mut d).zip(&mut s) {
+        for j in 0..L {
+            dc[j] = sc[j].abs();
+        }
+    }
+    for (dv, sv) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *dv = sv.abs();
+    }
+}
+
+#[inline(always)]
+fn fused_scale_add_core<const L: usize>(acc: &mut [f32], e: &[f32], g: &[f32], s: f32) {
+    debug_assert_eq!(acc.len(), e.len());
+    debug_assert_eq!(acc.len(), g.len());
+    let mut a = acc.chunks_exact_mut(L);
+    let mut ei = e.chunks_exact(L);
+    let mut gi = g.chunks_exact(L);
+    for ((ac, ec), gc) in (&mut a).zip(&mut ei).zip(&mut gi) {
+        for j in 0..L {
+            ac[j] = ec[j] + s * gc[j];
+        }
+    }
+    for ((av, &ev), &gv) in a.into_remainder().iter_mut().zip(ei.remainder()).zip(gi.remainder()) {
+        *av = ev + s * gv;
+    }
+}
+
+#[inline(always)]
+fn scale_inplace_core<const L: usize>(values: &mut [f32], c: f32) {
+    let mut it = values.chunks_exact_mut(L);
+    for chunk in &mut it {
+        for v in chunk {
+            *v *= c;
+        }
+    }
+    for v in it.into_remainder() {
+        *v *= c;
+    }
+}
+
+#[inline(always)]
+fn max_abs_core<const L: usize>(values: &[f32]) -> f32 {
+    let mut lane = [0.0f32; L];
+    let mut it = values.chunks_exact(L);
+    for chunk in &mut it {
+        for j in 0..L {
+            lane[j] = lane[j].max(chunk[j].abs());
+        }
+    }
+    let mut m = 0.0f32;
+    for &l in &lane {
+        m = m.max(l);
+    }
+    for &v in it.remainder() {
+        m = m.max(v.abs());
+    }
+    m
+}
+
+#[inline(always)]
+fn axpy_core<const L: usize>(out: &mut [f32], row: &[f32], a: f32) {
+    debug_assert_eq!(out.len(), row.len());
+    let mut o = out.chunks_exact_mut(L);
+    let mut r = row.chunks_exact(L);
+    for (oc, rc) in (&mut o).zip(&mut r) {
+        for j in 0..L {
+            oc[j] += a * rc[j];
+        }
+    }
+    for (ov, rv) in o.into_remainder().iter_mut().zip(r.remainder()) {
+        *ov += a * rv;
+    }
+}
+
+/// `out[j] += a0·r0[j] + a1·r1[j] + a2·r2[j] + a3·r3[j]`, adding the four terms
+/// in ascending-row order per element — bit-identical to four sequential
+/// [`axpy`] calls, but with one load/store of `out` per element instead of four.
+#[inline(always)]
+fn axpy4_core<const L: usize>(
+    out: &mut [f32],
+    r0: &[f32],
+    r1: &[f32],
+    r2: &[f32],
+    r3: &[f32],
+    a: [f32; 4],
+) {
+    let n = out.len();
+    // Pre-slice to `n` so the chunk iterators stay in lock-step and LLVM can
+    // elide the per-element bounds checks.
+    let (r0, r1, r2, r3) = (&r0[..n], &r1[..n], &r2[..n], &r3[..n]);
+    let mut o = out.chunks_exact_mut(L);
+    let mut i0 = r0.chunks_exact(L);
+    let mut i1 = r1.chunks_exact(L);
+    let mut i2 = r2.chunks_exact(L);
+    let mut i3 = r3.chunks_exact(L);
+    for ((((oc, c0), c1), c2), c3) in (&mut o).zip(&mut i0).zip(&mut i1).zip(&mut i2).zip(&mut i3) {
+        for j in 0..L {
+            let mut v = oc[j];
+            v += a[0] * c0[j];
+            v += a[1] * c1[j];
+            v += a[2] * c2[j];
+            v += a[3] * c3[j];
+            oc[j] = v;
+        }
+    }
+    let tail = o.into_remainder();
+    let base = n - tail.len();
+    for (j, ov) in tail.iter_mut().enumerate() {
+        let i = base + j;
+        let mut v = *ov;
+        v += a[0] * r0[i];
+        v += a[1] * r1[i];
+        v += a[2] * r2[i];
+        v += a[3] * r3[i];
+        *ov = v;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x86-64 intrinsic kernels — count/mask only. These use hand-written AVX2/SSE2
+// compares because LLVM does not reliably turn the portable mask fold into
+// movemask. The elementwise streaming kernels deliberately have NO intrinsic
+// variants: their portable cores already autovectorize at the build's baseline
+// ISA, and `#[target_feature(enable = "avx2")]` wrappers around them measured
+// consistently *slower* than baseline codegen on memory-bound sizes (the
+// hotpath bench's residual_fuse row read 0.79–0.92x with a wrapper) — wider
+// registers buy nothing once the stream is bandwidth-bound, and the
+// non-inlinable target_feature boundary costs scheduling freedom.
+// ---------------------------------------------------------------------------
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod x86 {
+    use core::arch::x86_64::*;
+
+    const ABS_MASK: u32 = 0x7fff_ffff;
+
+    #[inline]
+    unsafe fn hsum_epi32(v: __m256i) -> i32 {
+        let lo = _mm256_castsi256_si128(v);
+        let hi = _mm256_extracti128_si256::<1>(v);
+        let s = _mm_add_epi32(lo, hi);
+        let s = _mm_add_epi32(s, _mm_unpackhi_epi64(s, s));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b01>(s));
+        _mm_cvtsi128_si32(s)
+    }
+
+    /// AVX2 threshold count: per-lane i32 counters via compare-and-subtract
+    /// (a true compare lane is −1), 16 elements per iteration.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn count_abs_ge_w8(values: &[f32], th: f32) -> usize {
+        let absmask = _mm256_set1_ps(f32::from_bits(ABS_MASK));
+        let t = _mm256_set1_ps(th);
+        let mut c0 = _mm256_setzero_si256();
+        let mut c1 = _mm256_setzero_si256();
+        let mut it = values.chunks_exact(16);
+        for chunk in &mut it {
+            let a = _mm256_and_ps(_mm256_loadu_ps(chunk.as_ptr()), absmask);
+            let b = _mm256_and_ps(_mm256_loadu_ps(chunk.as_ptr().add(8)), absmask);
+            c0 = _mm256_sub_epi32(c0, _mm256_castps_si256(_mm256_cmp_ps::<_CMP_GE_OQ>(a, t)));
+            c1 = _mm256_sub_epi32(c1, _mm256_castps_si256(_mm256_cmp_ps::<_CMP_GE_OQ>(b, t)));
+        }
+        let mut total = hsum_epi32(_mm256_add_epi32(c0, c1)) as usize;
+        for v in it.remainder() {
+            total += usize::from(v.abs() >= th);
+        }
+        total
+    }
+
+    /// SSE2 threshold count, 8 elements per iteration.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn count_abs_ge_w4(values: &[f32], th: f32) -> usize {
+        let absmask = _mm_set1_ps(f32::from_bits(ABS_MASK));
+        let t = _mm_set1_ps(th);
+        let mut c0 = _mm_setzero_si128();
+        let mut c1 = _mm_setzero_si128();
+        let mut it = values.chunks_exact(8);
+        for chunk in &mut it {
+            let a = _mm_and_ps(_mm_loadu_ps(chunk.as_ptr()), absmask);
+            let b = _mm_and_ps(_mm_loadu_ps(chunk.as_ptr().add(4)), absmask);
+            c0 = _mm_sub_epi32(c0, _mm_castps_si128(_mm_cmpge_ps(a, t)));
+            c1 = _mm_sub_epi32(c1, _mm_castps_si128(_mm_cmpge_ps(b, t)));
+        }
+        let s = _mm_add_epi32(c0, c1);
+        let s = _mm_add_epi32(s, _mm_unpackhi_epi64(s, s));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b01>(s));
+        let mut total = _mm_cvtsi128_si32(s) as usize;
+        for v in it.remainder() {
+            total += usize::from(v.abs() >= th);
+        }
+        total
+    }
+
+    /// AVX2 keep-count (`|v| >= th && v != 0`).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn count_keep_w8(values: &[f32], th: f32) -> usize {
+        let absmask = _mm256_set1_ps(f32::from_bits(ABS_MASK));
+        let t = _mm256_set1_ps(th);
+        let zero = _mm256_setzero_ps();
+        let mut c = _mm256_setzero_si256();
+        let mut it = values.chunks_exact(8);
+        for chunk in &mut it {
+            let v = _mm256_loadu_ps(chunk.as_ptr());
+            let ge = _mm256_cmp_ps::<_CMP_GE_OQ>(_mm256_and_ps(v, absmask), t);
+            // NEQ_UQ matches scalar `v != 0.0` (true for NaN lanes, which the
+            // `ge` term rejects anyway).
+            let nz = _mm256_cmp_ps::<_CMP_NEQ_UQ>(v, zero);
+            c = _mm256_sub_epi32(c, _mm256_castps_si256(_mm256_and_ps(ge, nz)));
+        }
+        let mut total = hsum_epi32(c) as usize;
+        for &v in it.remainder() {
+            total += usize::from(super::keep(v, th));
+        }
+        total
+    }
+
+    /// SSE2 keep-count.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn count_keep_w4(values: &[f32], th: f32) -> usize {
+        let absmask = _mm_set1_ps(f32::from_bits(ABS_MASK));
+        let t = _mm_set1_ps(th);
+        let zero = _mm_setzero_ps();
+        let mut c = _mm_setzero_si128();
+        let mut it = values.chunks_exact(4);
+        for chunk in &mut it {
+            let v = _mm_loadu_ps(chunk.as_ptr());
+            let ge = _mm_cmpge_ps(_mm_and_ps(v, absmask), t);
+            let nz = _mm_cmpneq_ps(v, zero);
+            c = _mm_sub_epi32(c, _mm_castps_si128(_mm_and_ps(ge, nz)));
+        }
+        let s = _mm_add_epi32(c, _mm_unpackhi_epi64(c, c));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b01>(s));
+        let mut total = _mm_cvtsi128_si32(s) as usize;
+        for &v in it.remainder() {
+            total += usize::from(super::keep(v, th));
+        }
+        total
+    }
+
+    /// Keep-lane bitmask for one 8-block (bit j = lane j survives).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn keep_mask_w8(block: *const f32, th: f32) -> u32 {
+        let absmask = _mm256_set1_ps(f32::from_bits(ABS_MASK));
+        let v = _mm256_loadu_ps(block);
+        let ge = _mm256_cmp_ps::<_CMP_GE_OQ>(_mm256_and_ps(v, absmask), _mm256_set1_ps(th));
+        let nz = _mm256_cmp_ps::<_CMP_NEQ_UQ>(v, _mm256_setzero_ps());
+        _mm256_movemask_ps(_mm256_and_ps(ge, nz)) as u32
+    }
+
+    /// Keep-lane bitmask for one 4-block.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn keep_mask_w4(block: *const f32, th: f32) -> u32 {
+        let absmask = _mm_set1_ps(f32::from_bits(ABS_MASK));
+        let v = _mm_loadu_ps(block);
+        let ge = _mm_cmpge_ps(_mm_and_ps(v, absmask), _mm_set1_ps(th));
+        let nz = _mm_cmpneq_ps(v, _mm_setzero_ps());
+        _mm_movemask_ps(_mm_and_ps(ge, nz)) as u32
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[inline]
+fn have_avx2() -> bool {
+    // `is_x86_feature_detected!` caches after the first probe.
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+// ---------------------------------------------------------------------------
+// Public dispatchers. The `*_with_lanes` variants are the parity-test surface:
+// a forced width the CPU cannot accelerate still computes through the portable
+// core at that width (same math, same result).
+// ---------------------------------------------------------------------------
+
+/// Count entries with `|v| >= th` (the steady-state threshold scan).
+pub fn count_abs_ge(values: &[f32], th: f32) -> usize {
+    count_abs_ge_with_lanes(values, th, lanes())
+}
+
+/// [`count_abs_ge`] at an explicit lane width.
+pub fn count_abs_ge_with_lanes(values: &[f32], th: f32, lanes: Lanes) -> usize {
+    match lanes {
+        Lanes::S1 => values.iter().filter(|v| v.abs() >= th).count(),
+        Lanes::W4 => {
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            // Safety: SSE2 is part of the x86-64 baseline.
+            return unsafe { x86::count_abs_ge_w4(values, th) };
+            #[allow(unreachable_code)]
+            count_abs_ge_core::<4>(values, th)
+        }
+        Lanes::W8 => {
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            if have_avx2() {
+                // Safety: AVX2 presence just checked.
+                return unsafe { x86::count_abs_ge_w8(values, th) };
+            }
+            count_abs_ge_core::<8>(values, th)
+        }
+    }
+}
+
+/// Count `select_ge` survivors (`|v| >= th` and `v != 0`).
+pub fn count_keep(values: &[f32], th: f32) -> usize {
+    count_keep_with_lanes(values, th, lanes())
+}
+
+/// [`count_keep`] at an explicit lane width.
+pub fn count_keep_with_lanes(values: &[f32], th: f32, lanes: Lanes) -> usize {
+    match lanes {
+        Lanes::S1 => values.iter().filter(|&&v| keep(v, th)).count(),
+        Lanes::W4 => {
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            // Safety: SSE2 is part of the x86-64 baseline.
+            return unsafe { x86::count_keep_w4(values, th) };
+            #[allow(unreachable_code)]
+            count_keep_core::<4>(values, th)
+        }
+        Lanes::W8 => {
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            if have_avx2() {
+                // Safety: AVX2 presence just checked.
+                return unsafe { x86::count_keep_w8(values, th) };
+            }
+            count_keep_core::<8>(values, th)
+        }
+    }
+}
+
+/// Shared block walk of the keep-scan: computes a lane mask per block, skips
+/// survivor-free blocks wholesale (the common case at steady-state sparsity),
+/// and emits survivors in index order.
+#[inline(always)]
+fn scan_keep_blocks<F: FnMut(u32, f32)>(dense: &[f32], th: f32, base: u32, width: usize, emit: F) {
+    let mut emit = emit;
+    debug_assert!(width == 4 || width == 8);
+    let main = dense.len() - dense.len() % width;
+    let mut off = 0usize;
+    while off < main {
+        let block = &dense[off..off + width];
+        #[allow(unused_mut)]
+        let mut mask;
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        {
+            // Safety: the block has `width` readable elements; SSE2 is
+            // baseline and the W8 path is only reached when AVX2 is present
+            // (checked by the caller choosing the width).
+            mask = if width == 8 {
+                unsafe { x86::keep_mask_w8(block.as_ptr(), th) }
+            } else {
+                unsafe { x86::keep_mask_w4(block.as_ptr(), th) }
+            };
+        }
+        #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+        {
+            mask = if width == 8 {
+                keep_mask_core::<8>(block, th)
+            } else {
+                keep_mask_core::<4>(block, th)
+            };
+        }
+        while mask != 0 {
+            let j = mask.trailing_zeros() as usize;
+            emit(base + (off + j) as u32, block[j]);
+            mask &= mask - 1;
+        }
+        off += width;
+    }
+    for (j, &v) in dense[main..].iter().enumerate() {
+        if keep(v, th) {
+            emit(base + (main + j) as u32, v);
+        }
+    }
+}
+
+/// Append `select_ge` survivors of `dense` (indexes offset by `base`) to the
+/// output vectors, in index order — the serial selection scan.
+pub fn scan_keep_append(dense: &[f32], th: f32, base: u32, idx: &mut Vec<u32>, val: &mut Vec<f32>) {
+    scan_keep_append_with_lanes(dense, th, base, idx, val, lanes())
+}
+
+/// [`scan_keep_append`] at an explicit lane width.
+pub fn scan_keep_append_with_lanes(
+    dense: &[f32],
+    th: f32,
+    base: u32,
+    idx: &mut Vec<u32>,
+    val: &mut Vec<f32>,
+    lanes: Lanes,
+) {
+    let width = effective_mask_width(lanes);
+    if width == 1 {
+        for (i, &v) in dense.iter().enumerate() {
+            if keep(v, th) {
+                idx.push(base + i as u32);
+                val.push(v);
+            }
+        }
+        return;
+    }
+    scan_keep_blocks(dense, th, base, width, |i, v| {
+        idx.push(i);
+        val.push(v);
+    });
+}
+
+/// Write `select_ge` survivors into pre-sized windows (the parallel fill pass);
+/// returns the number written. The windows must hold exactly the survivor
+/// count ([`count_keep`] with the same threshold).
+pub fn scan_keep_write(
+    dense: &[f32],
+    th: f32,
+    base: u32,
+    idx: &mut [u32],
+    val: &mut [f32],
+) -> usize {
+    scan_keep_write_with_lanes(dense, th, base, idx, val, lanes())
+}
+
+/// [`scan_keep_write`] at an explicit lane width.
+pub fn scan_keep_write_with_lanes(
+    dense: &[f32],
+    th: f32,
+    base: u32,
+    idx: &mut [u32],
+    val: &mut [f32],
+    lanes: Lanes,
+) -> usize {
+    let mut w = 0usize;
+    let width = effective_mask_width(lanes);
+    if width == 1 {
+        for (off, &v) in dense.iter().enumerate() {
+            if keep(v, th) {
+                idx[w] = base + off as u32;
+                val[w] = v;
+                w += 1;
+            }
+        }
+        return w;
+    }
+    scan_keep_blocks(dense, th, base, width, |i, v| {
+        idx[w] = i;
+        val[w] = v;
+        w += 1;
+    });
+    w
+}
+
+/// The mask-kernel width a requested lane setting resolves to: W8 drops to 4
+/// on x86-64 without AVX2 (the portable mask core is slower than SSE2 there),
+/// and stays as requested elsewhere (portable cores).
+fn effective_mask_width(lanes: Lanes) -> usize {
+    match lanes {
+        Lanes::S1 => 1,
+        Lanes::W4 => 4,
+        Lanes::W8 => {
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            if !have_avx2() {
+                return 4;
+            }
+            8
+        }
+    }
+}
+
+/// `dst[i] = |src[i]|` (the quickselect magnitude fill). Slices must be equal
+/// length.
+pub fn abs_fill(dst: &mut [f32], src: &[f32]) {
+    abs_fill_with_lanes(dst, src, lanes())
+}
+
+/// [`abs_fill`] at an explicit lane width.
+pub fn abs_fill_with_lanes(dst: &mut [f32], src: &[f32], lanes: Lanes) {
+    match lanes {
+        Lanes::S1 => {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = s.abs();
+            }
+        }
+        Lanes::W4 => abs_fill_core::<4>(dst, src),
+        Lanes::W8 => abs_fill_core::<8>(dst, src),
+    }
+}
+
+/// `acc[i] = e[i] + s·g[i]` — the fused residual-accumulate of Algorithm 2
+/// line 4. Slices must be equal length.
+pub fn fused_scale_add(acc: &mut [f32], e: &[f32], g: &[f32], s: f32) {
+    fused_scale_add_with_lanes(acc, e, g, s, lanes())
+}
+
+/// [`fused_scale_add`] at an explicit lane width.
+pub fn fused_scale_add_with_lanes(acc: &mut [f32], e: &[f32], g: &[f32], s: f32, lanes: Lanes) {
+    match lanes {
+        Lanes::S1 => {
+            for ((a, &ev), &gv) in acc.iter_mut().zip(e).zip(g) {
+                *a = ev + s * gv;
+            }
+        }
+        Lanes::W4 => fused_scale_add_core::<4>(acc, e, g, s),
+        Lanes::W8 => fused_scale_add_core::<8>(acc, e, g, s),
+    }
+}
+
+/// `v[i] *= c` in place.
+pub fn scale_inplace(values: &mut [f32], c: f32) {
+    scale_inplace_with_lanes(values, c, lanes())
+}
+
+/// [`scale_inplace`] at an explicit lane width.
+pub fn scale_inplace_with_lanes(values: &mut [f32], c: f32, lanes: Lanes) {
+    match lanes {
+        Lanes::S1 => {
+            for v in values {
+                *v *= c;
+            }
+        }
+        Lanes::W4 => scale_inplace_core::<4>(values, c),
+        Lanes::W8 => scale_inplace_core::<8>(values, c),
+    }
+}
+
+/// `max_i |v[i]|` (0 for an empty slice) — the quantization scale pass.
+pub fn max_abs(values: &[f32]) -> f32 {
+    max_abs_with_lanes(values, lanes())
+}
+
+/// [`max_abs`] at an explicit lane width.
+pub fn max_abs_with_lanes(values: &[f32], lanes: Lanes) -> f32 {
+    match lanes {
+        Lanes::S1 => values.iter().fold(0.0f32, |a, &v| a.max(v.abs())),
+        Lanes::W4 => max_abs_core::<4>(values),
+        Lanes::W8 => max_abs_core::<8>(values),
+    }
+}
+
+/// `out[j] += a·row[j]` — the elementwise row update of the ikj matmul.
+/// `row` must be at least as long as `out`.
+pub fn axpy(out: &mut [f32], row: &[f32], a: f32) {
+    axpy_with_lanes(out, row, a, lanes())
+}
+
+/// [`axpy`] at an explicit lane width.
+pub fn axpy_with_lanes(out: &mut [f32], row: &[f32], a: f32, lanes: Lanes) {
+    match lanes {
+        Lanes::S1 => {
+            for (o, &r) in out.iter_mut().zip(row) {
+                *o += a * r;
+            }
+        }
+        Lanes::W4 => axpy_core::<4>(out, row, a),
+        Lanes::W8 => axpy_core::<8>(out, row, a),
+    }
+}
+
+/// Four-row [`axpy`] with a single load/store of `out` per element; terms are
+/// added in ascending-row order, so the result is bit-identical to four
+/// sequential `axpy` calls. Rows must be at least as long as `out`.
+pub fn axpy4(out: &mut [f32], rows: [&[f32]; 4], a: [f32; 4]) {
+    axpy4_with_lanes(out, rows, a, lanes())
+}
+
+/// [`axpy4`] at an explicit lane width.
+pub fn axpy4_with_lanes(out: &mut [f32], rows: [&[f32]; 4], a: [f32; 4], lanes: Lanes) {
+    let [r0, r1, r2, r3] = rows;
+    match lanes {
+        Lanes::S1 => {
+            for (i, o) in out.iter_mut().enumerate() {
+                let mut v = *o;
+                v += a[0] * r0[i];
+                v += a[1] * r1[i];
+                v += a[2] * r2[i];
+                v += a[3] * r3[i];
+                *o = v;
+            }
+        }
+        Lanes::W4 => axpy4_core::<4>(out, r0, r1, r2, r3, a),
+        Lanes::W8 => axpy4_core::<8>(out, r0, r1, r2, r3, a),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed(n: usize, seed: u64) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(seed);
+                let v = ((h >> 33) % 2001) as f32 / 1000.0 - 1.0;
+                if v.abs() < 0.3 {
+                    0.0
+                } else {
+                    v
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn caps_resolve_and_are_stable() {
+        let c1 = caps();
+        let c2 = caps();
+        assert_eq!(c1.lanes, c2.lanes);
+        assert!(c1.lanes.width() >= 1);
+        if !c1.compiled {
+            assert_eq!(c1.lanes, Lanes::S1);
+        }
+    }
+
+    #[test]
+    fn counts_match_scalar_at_all_widths() {
+        for n in [0usize, 1, 3, 4, 7, 8, 15, 16, 17, 100, 1000, 4097] {
+            let v = mixed(n, 42);
+            for th in [0.0f32, 0.3, 0.5, 0.95, f32::INFINITY] {
+                let want_ge = v.iter().filter(|x| x.abs() >= th).count();
+                let want_keep = v.iter().filter(|&&x| keep(x, th)).count();
+                for l in Lanes::ALL {
+                    assert_eq!(count_abs_ge_with_lanes(&v, th, l), want_ge, "n={n} th={th} {l:?}");
+                    assert_eq!(count_keep_with_lanes(&v, th, l), want_keep, "n={n} th={th} {l:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_append_and_write_match_scalar() {
+        for n in [0usize, 1, 5, 8, 9, 63, 64, 65, 1000] {
+            let v = mixed(n, 7);
+            let th = 0.5f32;
+            let mut want_i = Vec::new();
+            let mut want_v = Vec::new();
+            scan_keep_append_with_lanes(&v, th, 10, &mut want_i, &mut want_v, Lanes::S1);
+            for l in [Lanes::W4, Lanes::W8] {
+                let (mut gi, mut gv) = (Vec::new(), Vec::new());
+                scan_keep_append_with_lanes(&v, th, 10, &mut gi, &mut gv, l);
+                assert_eq!(gi, want_i, "append n={n} {l:?}");
+                assert_eq!(gv, want_v, "append n={n} {l:?}");
+                let mut wi = vec![0u32; want_i.len()];
+                let mut wv = vec![0f32; want_v.len()];
+                let written = scan_keep_write_with_lanes(&v, th, 10, &mut wi, &mut wv, l);
+                assert_eq!(written, want_i.len(), "write n={n} {l:?}");
+                assert_eq!(wi, want_i, "write n={n} {l:?}");
+                assert_eq!(wv, want_v, "write n={n} {l:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn elementwise_kernels_bit_identical() {
+        for n in [0usize, 1, 7, 8, 9, 100, 1001] {
+            let src = mixed(n, 3);
+            let g = mixed(n, 5);
+            for l in Lanes::ALL {
+                let mut d_want = vec![0f32; n];
+                abs_fill_with_lanes(&mut d_want, &src, Lanes::S1);
+                let mut d = vec![0f32; n];
+                abs_fill_with_lanes(&mut d, &src, l);
+                assert_eq!(
+                    d.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    d_want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "abs_fill n={n} {l:?}"
+                );
+
+                let mut a_want = vec![0f32; n];
+                fused_scale_add_with_lanes(&mut a_want, &src, &g, 0.37, Lanes::S1);
+                let mut a = vec![0f32; n];
+                fused_scale_add_with_lanes(&mut a, &src, &g, 0.37, l);
+                assert_eq!(a, a_want, "fused_scale_add n={n} {l:?}");
+
+                let mut s_want = src.clone();
+                scale_inplace_with_lanes(&mut s_want, -1.5, Lanes::S1);
+                let mut s = src.clone();
+                scale_inplace_with_lanes(&mut s, -1.5, l);
+                assert_eq!(s, s_want, "scale n={n} {l:?}");
+
+                assert_eq!(
+                    max_abs_with_lanes(&src, l).to_bits(),
+                    max_abs_with_lanes(&src, Lanes::S1).to_bits(),
+                    "max_abs n={n} {l:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_kernels_bit_identical() {
+        let n = 133;
+        let rows: Vec<Vec<f32>> = (0..4).map(|s| mixed(n, 20 + s)).collect();
+        let a = [0.5f32, -1.25, 0.0, 2.0];
+        let init = mixed(n, 9);
+        // axpy4 == four sequential axpy calls == scalar loop, at every width.
+        let mut want = init.clone();
+        for (r, &c) in rows.iter().zip(&a) {
+            axpy_with_lanes(&mut want, r, c, Lanes::S1);
+        }
+        for l in Lanes::ALL {
+            let mut got = init.clone();
+            axpy4_with_lanes(&mut got, [&rows[0], &rows[1], &rows[2], &rows[3]], a, l);
+            assert_eq!(got, want, "axpy4 {l:?}");
+
+            let mut got1 = init.clone();
+            for (r, &c) in rows.iter().zip(&a) {
+                axpy_with_lanes(&mut got1, r, c, l);
+            }
+            assert_eq!(got1, want, "axpy chain {l:?}");
+        }
+    }
+
+    #[test]
+    fn nan_lanes_do_not_diverge() {
+        // NaN never satisfies `|v| >= th`; keep-scan and counts must agree at
+        // every width even with NaN payloads present.
+        let mut v = mixed(64, 11);
+        v[3] = f32::NAN;
+        v[40] = -f32::NAN;
+        for th in [0.0f32, 0.5] {
+            let want = count_abs_ge_with_lanes(&v, th, Lanes::S1);
+            let want_keep = count_keep_with_lanes(&v, th, Lanes::S1);
+            for l in [Lanes::W4, Lanes::W8] {
+                assert_eq!(count_abs_ge_with_lanes(&v, th, l), want);
+                assert_eq!(count_keep_with_lanes(&v, th, l), want_keep);
+            }
+        }
+    }
+}

@@ -20,18 +20,19 @@ use crate::scratch::{exact_threshold_scratch, SelectScratch, SCAN_GRAIN};
 use crate::select::exact_threshold;
 use crate::stats::{mean_std, normal_ppf};
 
-/// Count entries with `|v| >= th`, data-parallel through the okpar pool above
+/// Count entries with `|v| >= th`: SIMD lanes within each chunk
+/// ([`crate::simd::count_abs_ge`]), data-parallel through the okpar pool above
 /// the [`SCAN_GRAIN`] granularity cutoff. A count is an integer reduction, so
 /// the result is identical to the serial scan regardless of chunk completion
-/// order.
+/// order or lane width.
 fn count_abs_ge(values: &[f32], th: f32) -> usize {
     let threads = okpar::threads_for(values.len(), SCAN_GRAIN);
     if threads <= 1 {
-        return values.iter().filter(|v| v.abs() >= th).count();
+        return crate::simd::count_abs_ge(values, th);
     }
     let total = AtomicUsize::new(0);
     okpar::run_chunks(values.len(), threads, |_, r| {
-        let c = values[r].iter().filter(|v| v.abs() >= th).count();
+        let c = crate::simd::count_abs_ge(&values[r], th);
         total.fetch_add(c, Ordering::Relaxed);
     });
     total.into_inner()

@@ -143,6 +143,114 @@ fn boundary_lengths_are_bit_identical() {
     }
 }
 
+/// SIMD/scalar lane parity: every `sparse::simd` kernel must be bit-identical
+/// to the scalar reference at widths {scalar, 4, 8}, regardless of whether the
+/// host accelerates the width (unsupported widths fall back to portable lane
+/// cores computing the same math).
+mod lane_parity {
+    use super::{bits, dense_vec};
+    use proptest::prelude::*;
+    use sparse::simd::{self, Lanes};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn counts_match_scalar(dense in dense_vec(), th in 0.0f32..0.9) {
+            let want_ge = dense.iter().filter(|v| v.abs() >= th).count();
+            let want_keep = dense.iter().filter(|&&v| v.abs() >= th && v != 0.0).count();
+            for lanes in Lanes::ALL {
+                prop_assert_eq!(simd::count_abs_ge_with_lanes(&dense, th, lanes), want_ge,
+                    "count_abs_ge lanes={:?}", lanes);
+                prop_assert_eq!(simd::count_keep_with_lanes(&dense, th, lanes), want_keep,
+                    "count_keep lanes={:?}", lanes);
+            }
+        }
+
+        #[test]
+        fn keep_scan_matches_scalar(dense in dense_vec(), th in 0.0f32..0.9, base in 0u32..1000) {
+            let (mut want_i, mut want_v) = (Vec::new(), Vec::new());
+            simd::scan_keep_append_with_lanes(&dense, th, base, &mut want_i, &mut want_v, Lanes::S1);
+            for lanes in [Lanes::W4, Lanes::W8] {
+                let (mut gi, mut gv) = (Vec::new(), Vec::new());
+                simd::scan_keep_append_with_lanes(&dense, th, base, &mut gi, &mut gv, lanes);
+                prop_assert_eq!(&gi, &want_i, "append indexes lanes={:?}", lanes);
+                prop_assert_eq!(bits(&gv), bits(&want_v), "append values lanes={:?}", lanes);
+                let mut wi = vec![0u32; want_i.len()];
+                let mut wv = vec![0f32; want_v.len()];
+                let n = simd::scan_keep_write_with_lanes(&dense, th, base, &mut wi, &mut wv, lanes);
+                prop_assert_eq!(n, want_i.len(), "write count lanes={:?}", lanes);
+                prop_assert_eq!(&wi, &want_i, "write indexes lanes={:?}", lanes);
+                prop_assert_eq!(bits(&wv), bits(&want_v), "write values lanes={:?}", lanes);
+            }
+        }
+
+        #[test]
+        fn elementwise_kernels_match_scalar(
+            dense in dense_vec(),
+            other in dense_vec(),
+            scale in -2.0f32..2.0,
+        ) {
+            let n = dense.len().min(other.len());
+            let (a, g) = (&dense[..n], &other[..n]);
+            for lanes in Lanes::ALL {
+                let mut mags = vec![0f32; n];
+                simd::abs_fill_with_lanes(&mut mags, a, lanes);
+                let want: Vec<f32> = a.iter().map(|v| v.abs()).collect();
+                prop_assert_eq!(bits(&mags), bits(&want), "abs_fill lanes={:?}", lanes);
+
+                let mut acc = vec![0f32; n];
+                simd::fused_scale_add_with_lanes(&mut acc, a, g, scale, lanes);
+                let want: Vec<f32> = a.iter().zip(g).map(|(&e, &gv)| e + scale * gv).collect();
+                prop_assert_eq!(bits(&acc), bits(&want), "fused_scale_add lanes={:?}", lanes);
+
+                let mut scaled = a.to_vec();
+                simd::scale_inplace_with_lanes(&mut scaled, scale, lanes);
+                let want: Vec<f32> = a.iter().map(|&v| v * scale).collect();
+                prop_assert_eq!(bits(&scaled), bits(&want), "scale_inplace lanes={:?}", lanes);
+
+                let want_max = a.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                prop_assert_eq!(
+                    simd::max_abs_with_lanes(a, lanes).to_bits(), want_max.to_bits(),
+                    "max_abs lanes={:?}", lanes
+                );
+            }
+        }
+
+        #[test]
+        fn axpy_kernels_match_scalar(
+            rows in prop::collection::vec(super::dense_vec(), 4..=4),
+            coef in prop::collection::vec(-2.0f32..2.0, 4..=4),
+        ) {
+            let n = rows.iter().map(Vec::len).min().unwrap_or(0);
+            let init: Vec<f32> = (0..n).map(|i| (i as f32 * 0.31).sin()).collect();
+            // Scalar reference: four sequential row updates, ascending order.
+            let mut want = init.clone();
+            for (r, &c) in rows.iter().zip(&coef) {
+                for (o, &rv) in want.iter_mut().zip(&r[..n]) {
+                    *o += c * rv;
+                }
+            }
+            for lanes in Lanes::ALL {
+                let mut got = init.clone();
+                simd::axpy4_with_lanes(
+                    &mut got,
+                    [&rows[0][..n], &rows[1][..n], &rows[2][..n], &rows[3][..n]],
+                    [coef[0], coef[1], coef[2], coef[3]],
+                    lanes,
+                );
+                prop_assert_eq!(bits(&got), bits(&want), "axpy4 lanes={:?}", lanes);
+
+                let mut got1 = init.clone();
+                for (r, &c) in rows.iter().zip(&coef) {
+                    simd::axpy_with_lanes(&mut got1, &r[..n], c, lanes);
+                }
+                prop_assert_eq!(bits(&got1), bits(&want), "axpy chain lanes={:?}", lanes);
+            }
+        }
+    }
+}
+
 /// A shared scratch carried across heterogeneous calls must never leak state
 /// from one call into the next.
 #[test]

@@ -6,9 +6,10 @@
 # The benches run in --quick --gate mode (a few seconds each):
 #
 # - hotpath fails the script if any *_serial_vs_parallel speedup at the default
-#   thread count drops below 0.98, unless the row is flagged serial_fallback
-#   (the adaptive granularity policy chose 1 thread — parallel == serial by
-#   design, e.g. on a single-core host).
+#   thread count drops below 0.98, or the scan_scalar_vs_simd headline drops
+#   below 1.5, unless the row is flagged serial_fallback (the adaptive
+#   granularity policy chose 1 thread, or the host resolved to the scalar lane
+#   path — parallel == serial by design, e.g. on a single-core/non-SIMD host).
 # - msgpath fails the script if the pooled message path loses to the boxed
 #   baseline (speedup < 1.0) at P = 16.
 # - chaos runs a tiny P=4 robustness sweep and fails the script if any
@@ -16,7 +17,7 @@
 #   repeated chaos run is not bit-identical.
 #
 # Quick numbers go to target/*-gate.json so they never overwrite the checked-in
-# full-run BENCH_PR2.json / BENCH_PR4.json / BENCH_PR5.json; regenerate those with
+# full-run BENCH_PR6.json / BENCH_PR4.json / BENCH_PR5.json; regenerate those with
 #   cargo run --release -p okbench --bin hotpath
 #   cargo run --release -p okbench --bin msgpath
 #   cargo run --release -p okbench --bin chaos
@@ -34,6 +35,12 @@ cargo fmt --check
 
 echo "== tests =="
 cargo test -q --workspace
+
+echo "== tests (forced-scalar: OKTOPK_SIMD=off) =="
+# The lane kernels promise bit-identical results on the scalar fallback path;
+# re-run the crates that dispatch through sparse::simd with SIMD forced off so
+# that path stays green, not just compiled.
+OKTOPK_SIMD=off cargo test -q -p sparse -p dnn -p oktopk
 
 echo "== hot-path bench (quick, gated) =="
 cargo run --release -p okbench --bin hotpath -- --quick --gate --out target/hotpath-gate.json
