@@ -1,0 +1,417 @@
+//! Scale sweep: how far can one process push the cluster size P?
+//!
+//! The discrete-event engine exists so P ∈ {1024, 2048, 4096} sweeps — the
+//! regime where the paper's O(α·log P + β·k) claim separates Ok-Topk from
+//! gTopk and dense allreduce — fit in one address space with a bounded set of
+//! runnable ranks. This harness:
+//!
+//! - sweeps P ∈ {32, 128, 512, 1024, 2048} × {Dense, gTopk, Ok-Topk} on the
+//!   event engine, recording modeled makespan, wall time and peak RSS;
+//! - cross-checks the thread engine at small P: same seed ⇒ bit-identical
+//!   makespan and update checksum (the differential-oracle guarantee);
+//! - head-to-heads the two engines' wall time where both are comfortable;
+//! - with `--gate`, asserts the event engine completes Ok-Topk at P=1024
+//!   within a wall/memory budget, and probes the thread engine at the same P
+//!   in a subprocess capped at 1.25× the event engine's measured wall —
+//!   demonstrating (and recording) that the budget is only reachable with
+//!   virtual-time scheduling. Both halves are hard failures.
+//!
+//! Usage: `cargo run --release -p okbench --bin scale [-- --quick] [--gate]
+//! [--out PATH]`. Internal: `--probe <thread|event> <P>` runs one Ok-Topk
+//! cell and exits (the gate's subprocess target).
+
+use simnet::{Cluster, Comm, Engine};
+use std::time::{Duration, Instant};
+use train::{CostProfile, Reducer, Scheme, Update};
+
+const N: usize = 4096;
+const DENSITY: f64 = 0.05;
+const ITERS: usize = 2;
+/// Small rank stacks: the sweep's point is thousands of ranks per process.
+const STACK_BYTES: usize = 1 << 20;
+
+const SCHEMES: [Scheme; 3] = [Scheme::Dense, Scheme::GTopk, Scheme::OkTopk];
+
+/// Gate budgets for Ok-Topk at P=1024 on the event engine. Calibrated on a
+/// single-core CI-class host: the event engine measures ~10 s wall / ~0.4 GiB
+/// peak, the thread engine ~22 s (and past P=2048 the thread engine does not
+/// finish inside 180 s at all). The event budgets are absolute with generous
+/// headroom; the thread probe's cap is *relative* — 1.25× the event engine's
+/// measured wall — so the "thread cannot keep up" assertion tracks host speed
+/// instead of hard-coding this machine's.
+const GATE_P: usize = 1024;
+const GATE_WALL_BUDGET: Duration = Duration::from_secs(60);
+const GATE_MEM_BUDGET_KB: u64 = 4 * 1024 * 1024; // 4 GiB peak RSS
+const GATE_PROBE_FACTOR: f64 = 1.25;
+
+fn grad(rank: usize, iter: usize) -> Vec<f32> {
+    (0..N)
+        .map(|i| {
+            let x = (i * (rank + 2) + iter * 131) as f32;
+            let spike = if i % 211 == (rank * 13 + iter) % 211 { 3.0 } else { 0.0 };
+            (x * 0.01).sin() * 0.25 + spike
+        })
+        .collect()
+}
+
+/// One sweep cell: `ITERS` data-parallel steps of `scheme` at size `p` on
+/// `engine`. Returns (modeled makespan, FNV checksum of every rank's update
+/// bits in rank order, wall time).
+fn run_cell(scheme: Scheme, p: usize, engine: Engine) -> (f64, u64, Duration) {
+    let profile = CostProfile::paper_calibrated().scaled_for_model(N);
+    let fwd = profile.fwd_bwd(N);
+    let wall = Instant::now();
+    let report = Cluster::new(p, profile.network())
+        .with_engine(engine)
+        .with_stack_bytes(STACK_BYTES)
+        .run(move |comm: &mut Comm| {
+            let mut reducer = Reducer::new(scheme, N, DENSITY, profile, 8, 8);
+            let mut fnv = 0xcbf29ce484222325u64;
+            for it in 0..ITERS {
+                comm.compute(fwd);
+                let g = grad(comm.rank(), it);
+                let (update, _) = reducer.reduce(comm, &g, 0.1);
+                let mut mix = |w: u32| {
+                    fnv = (fnv ^ w as u64).wrapping_mul(0x100000001b3);
+                };
+                match update {
+                    Update::Dense(v) => v.iter().for_each(|x| mix(x.to_bits())),
+                    Update::Sparse(coo) => {
+                        coo.indexes().iter().for_each(|&i| mix(i));
+                        coo.values().iter().for_each(|x| mix(x.to_bits()));
+                    }
+                }
+            }
+            fnv
+        });
+    let wall = wall.elapsed();
+    let mut fnv = 0xcbf29ce484222325u64;
+    for r in &report.results {
+        fnv = (fnv ^ r).wrapping_mul(0x100000001b3);
+    }
+    (report.makespan(), fnv, wall)
+}
+
+/// Peak resident set size of this process so far, in KiB (Linux VmHWM).
+fn vm_hwm_kb() -> u64 {
+    proc_status_kb("VmHWM:")
+}
+
+/// Current resident set size, in KiB (Linux VmRSS).
+fn vm_rss_kb() -> u64 {
+    proc_status_kb("VmRSS:")
+}
+
+fn proc_status_kb(key: &str) -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find(|l| l.starts_with(key))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+struct Row {
+    scheme: Scheme,
+    p: usize,
+    engine: Engine,
+    makespan: f64,
+    checksum: u64,
+    wall: Duration,
+    vm_hwm_kb: u64,
+    vm_rss_kb: u64,
+}
+
+fn sweep_cell(scheme: Scheme, p: usize, engine: Engine) -> Row {
+    let (makespan, checksum, wall) = run_cell(scheme, p, engine);
+    Row {
+        scheme,
+        p,
+        engine,
+        makespan,
+        checksum,
+        wall,
+        vm_hwm_kb: vm_hwm_kb(),
+        vm_rss_kb: vm_rss_kb(),
+    }
+}
+
+fn engine_name(e: Engine) -> &'static str {
+    match e {
+        Engine::Thread => "thread",
+        Engine::Event => "event",
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    path: &str,
+    quick: bool,
+    sizes: &[usize],
+    rows: &[Row],
+    parity_ok: bool,
+    head_to_head: &[(usize, Duration, Duration)],
+    probe: Option<&ProbeOutcome>,
+) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"scale\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"n\": {N},\n"));
+    out.push_str(&format!("  \"density\": {DENSITY},\n"));
+    out.push_str(&format!("  \"iters\": {ITERS},\n"));
+    out.push_str(&format!("  \"stack_bytes\": {STACK_BYTES},\n"));
+    out.push_str(&format!(
+        "  \"cluster_sizes\": [{}],\n",
+        sizes.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(", ")
+    ));
+    out.push_str(&format!("  \"cross_engine_parity_p32\": {parity_ok},\n"));
+    out.push_str("  \"head_to_head_wall_ms\": [\n");
+    for (i, (p, thread, event)) in head_to_head.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"p\": {p}, \"thread_ms\": {:.1}, \"event_ms\": {:.1}}}{}\n",
+            thread.as_secs_f64() * 1e3,
+            event.as_secs_f64() * 1e3,
+            if i + 1 < head_to_head.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    if let Some(probe) = probe {
+        out.push_str("  \"gate\": {\n");
+        out.push_str(&format!("    \"p\": {GATE_P},\n"));
+        out.push_str(&format!("    \"wall_budget_ms\": {},\n", GATE_WALL_BUDGET.as_millis()));
+        out.push_str(&format!("    \"mem_budget_kb\": {GATE_MEM_BUDGET_KB},\n"));
+        out.push_str(&format!(
+            "    \"event_wall_ms\": {:.1},\n",
+            probe.event_wall.as_secs_f64() * 1e3
+        ));
+        out.push_str(&format!("    \"event_vm_hwm_kb\": {},\n", probe.event_hwm_kb));
+        out.push_str(&format!(
+            "    \"thread_probe\": \"{}\"\n",
+            probe.thread_outcome.replace('"', "'")
+        ));
+        out.push_str("  },\n");
+    }
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scheme\": \"{}\", \"p\": {}, \"engine\": \"{}\", \"makespan\": {:.6e}, \
+             \"checksum\": \"{:016x}\", \"wall_ms\": {:.1}, \"vm_hwm_kb\": {}, \"vm_rss_kb\": {}}}{}\n",
+            r.scheme.name(),
+            r.p,
+            engine_name(r.engine),
+            r.makespan,
+            r.checksum,
+            r.wall.as_secs_f64() * 1e3,
+            r.vm_hwm_kb,
+            r.vm_rss_kb,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write bench json");
+}
+
+struct ProbeOutcome {
+    event_wall: Duration,
+    event_hwm_kb: u64,
+    thread_outcome: String,
+}
+
+/// Run `--probe <engine> <P>` in a child process with a wall cap. Returns a
+/// human-readable outcome string ("completed in …" / "killed after …").
+fn probe_subprocess(engine: Engine, p: usize, cap: Duration) -> String {
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => return format!("probe unavailable: {e}"),
+    };
+    let start = Instant::now();
+    let mut child = match std::process::Command::new(exe)
+        .args(["--probe", engine_name(engine), &p.to_string()])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+    {
+        Ok(c) => c,
+        Err(e) => return format!("probe spawn failed: {e}"),
+    };
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) if status.success() => {
+                return format!("completed in {:.1}s", start.elapsed().as_secs_f64());
+            }
+            Ok(Some(status)) => return format!("exited abnormally: {status}"),
+            Ok(None) => {
+                if start.elapsed() > cap {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return format!(
+                        "killed after exceeding the {:.0}s wall cap",
+                        cap.as_secs_f64()
+                    );
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => return format!("probe wait failed: {e}"),
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Internal subprocess mode: one cell, then exit.
+    if let Some(i) = args.iter().position(|a| a == "--probe") {
+        let engine = match args.get(i + 1).map(String::as_str) {
+            Some("thread") => Engine::Thread,
+            Some("event") => Engine::Event,
+            other => panic!("--probe needs thread|event, got {other:?}"),
+        };
+        let p: usize = args.get(i + 2).and_then(|v| v.parse().ok()).expect("--probe needs P");
+        let (makespan, checksum, wall) = run_cell(Scheme::OkTopk, p, engine);
+        println!(
+            "probe {} p={p}: makespan {makespan:.6e}s checksum {checksum:016x} wall {:.1}s",
+            engine_name(engine),
+            wall.as_secs_f64()
+        );
+        return;
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let run_gate = args.iter().any(|a| a == "--gate");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_PR7.json")
+        .to_string();
+
+    let sizes: &[usize] = if run_gate {
+        &[32, GATE_P]
+    } else if quick {
+        &[32, 128, 512]
+    } else {
+        &[32, 128, 512, 1024, 2048]
+    };
+
+    eprintln!("scale: n={N} density={DENSITY} iters={ITERS} sizes={sizes:?}");
+    let mut failures: Vec<String> = Vec::new();
+
+    // Cross-engine parity at P=32: the thread engine is the oracle.
+    let mut parity_ok = true;
+    for scheme in SCHEMES {
+        let (mk_t, ck_t, _) = run_cell(scheme, 32, Engine::Thread);
+        let (mk_e, ck_e, _) = run_cell(scheme, 32, Engine::Event);
+        if mk_t.to_bits() != mk_e.to_bits() || ck_t != ck_e {
+            parity_ok = false;
+            failures.push(format!(
+                "{} p=32: engines diverged (makespan {mk_t:?} vs {mk_e:?}, checksum {ck_t:016x} vs {ck_e:016x})",
+                scheme.name()
+            ));
+        }
+    }
+    eprintln!("  parity p=32 across engines: {}", if parity_ok { "ok" } else { "FAIL" });
+
+    // Head-to-head wall time where the thread engine is still comfortable.
+    let mut head_to_head = Vec::new();
+    for &p in &[32usize, 128] {
+        let (_, _, wall_t) = run_cell(Scheme::OkTopk, p, Engine::Thread);
+        let (_, _, wall_e) = run_cell(Scheme::OkTopk, p, Engine::Event);
+        eprintln!(
+            "  head-to-head p={p}: thread {:.0} ms, event {:.0} ms",
+            wall_t.as_secs_f64() * 1e3,
+            wall_e.as_secs_f64() * 1e3
+        );
+        head_to_head.push((p, wall_t, wall_e));
+    }
+
+    // The sweep itself: event engine only past small P.
+    let mut rows = Vec::new();
+    for &p in sizes {
+        for scheme in SCHEMES {
+            if run_gate && (p != GATE_P || scheme != Scheme::OkTopk) && p != 32 {
+                continue;
+            }
+            let row = sweep_cell(scheme, p, Engine::Event);
+            eprintln!(
+                "  p={:<5} {:<8} event: makespan {:>10.4e}s wall {:>7.0} ms rss {:>7} KiB (peak {} KiB)",
+                row.p,
+                row.scheme.name(),
+                row.makespan,
+                row.wall.as_secs_f64() * 1e3,
+                row.vm_rss_kb,
+                row.vm_hwm_kb,
+            );
+            rows.push(row);
+        }
+    }
+
+    // Gate: the event engine must fit the budget at P=1024; the thread engine
+    // is probed under the same wall cap in a subprocess (so a hang or a
+    // thrashing scheduler cannot wedge the gate itself).
+    let mut probe = None;
+    if run_gate {
+        let gate_row = rows
+            .iter()
+            .find(|r| r.p == GATE_P && r.scheme == Scheme::OkTopk)
+            .expect("gate sweep includes Ok-Topk at GATE_P");
+        if gate_row.wall > GATE_WALL_BUDGET {
+            failures.push(format!(
+                "event engine exceeded the wall budget at P={GATE_P}: {:.1}s > {:.0}s",
+                gate_row.wall.as_secs_f64(),
+                GATE_WALL_BUDGET.as_secs_f64()
+            ));
+        }
+        if gate_row.vm_hwm_kb > GATE_MEM_BUDGET_KB {
+            failures.push(format!(
+                "event engine exceeded the memory budget at P={GATE_P}: {} KiB > {} KiB",
+                gate_row.vm_hwm_kb, GATE_MEM_BUDGET_KB
+            ));
+        }
+        let cap =
+            Duration::from_secs_f64((gate_row.wall.as_secs_f64() * GATE_PROBE_FACTOR).max(5.0));
+        let thread_outcome = probe_subprocess(Engine::Thread, GATE_P, cap);
+        eprintln!(
+            "  thread-engine probe at p={GATE_P} (cap {:.1}s = {GATE_PROBE_FACTOR}x event wall): {thread_outcome}",
+            cap.as_secs_f64()
+        );
+        if thread_outcome.starts_with("completed") {
+            failures.push(format!(
+                "thread engine matched the event engine at P={GATE_P} ({thread_outcome}); \
+                 the virtual-time scheduler should be the only engine inside the budget"
+            ));
+        }
+        probe = Some(ProbeOutcome {
+            event_wall: gate_row.wall,
+            event_hwm_kb: gate_row.vm_hwm_kb,
+            thread_outcome,
+        });
+    }
+
+    write_json(
+        &out_path,
+        quick || run_gate,
+        sizes,
+        &rows,
+        parity_ok,
+        &head_to_head,
+        probe.as_ref(),
+    );
+    eprintln!("wrote {out_path}");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("gate: FAIL — {f}");
+        }
+        std::process::exit(1);
+    }
+    if run_gate {
+        eprintln!(
+            "gate: OK (parity holds at P=32; event engine ran Ok-Topk at P={GATE_P} within {:.0}s / {} MiB)",
+            GATE_WALL_BUDGET.as_secs_f64(),
+            GATE_MEM_BUDGET_KB / 1024
+        );
+    }
+}

@@ -73,6 +73,19 @@ impl Condvar {
         guard.inner = Some(std_guard);
     }
 
+    /// Block until notified or `timeout` elapses, releasing the guard's lock
+    /// while waiting. Returns `true` if the wait timed out (parking_lot returns
+    /// a `WaitTimeoutResult`; this shim reduces it to the flag callers check).
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        let std_guard = guard.inner.take().expect("guard present before wait");
+        let (std_guard, result) = match self.inner.wait_timeout(std_guard, timeout) {
+            Ok(pair) => pair,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.inner = Some(std_guard);
+        result.timed_out()
+    }
+
     /// Wake one waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -94,6 +107,17 @@ mod tests {
         let m = Mutex::new(1);
         *m.lock() += 41;
         assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn wait_for_times_out_and_returns_flag() {
+        let m = Mutex::new(0u32);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let timed_out = cv.wait_for(&mut g, std::time::Duration::from_millis(5));
+        assert!(timed_out);
+        *g += 1; // guard still usable after the timed wait
+        assert_eq!(*g, 1);
     }
 
     #[test]

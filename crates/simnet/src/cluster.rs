@@ -1,17 +1,28 @@
-//! Cluster runner: spawns one thread per rank and collects results, clocks and traffic.
+//! Cluster runner: executes one closure per rank and collects results, clocks
+//! and traffic — on either execution engine (see [`Engine`]).
 
-use crate::comm::{BarrierState, Comm};
+use crate::comm::{Backend, BarrierState, Comm, PoolBudget};
 use crate::cost::CostModel;
+use crate::engine::{default_workers, Cascade, Engine, EventCore};
 use crate::envelope::Envelope;
 use crate::ledger::{Ledger, LedgerSnapshot};
-use chaos::{ChaosPlan, ChaosView};
+use chaos::{ChaosPlan, ChaosView, CompiledChaos};
 use crossbeam_channel::unbounded;
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A simulated cluster of `size` ranks governed by one [`CostModel`].
 ///
 /// `Cluster` is cheap to construct; each [`run`](Self::run) spawns fresh rank threads,
 /// a fresh traffic ledger and fresh clocks, so runs are independent and deterministic.
+///
+/// Two execution engines are available (see [`Engine`]); both produce
+/// bit-identical results, clocks and ledgers for the same inputs. The engine is
+/// chosen by `SIMNET_ENGINE` at construction and overridden with
+/// [`with_engine`](Self::with_engine).
 pub struct Cluster {
     size: usize,
     cost: CostModel,
@@ -19,10 +30,21 @@ pub struct Cluster {
     /// little headroom avoids surprises with deep call chains in debug builds.
     stack_bytes: usize,
     /// Wall-clock recv deadline override; `None` defers to `SIMNET_RECV_DEADLOCK_SECS`
-    /// (else the 180 s default).
-    recv_timeout: Option<std::time::Duration>,
+    /// (else the 180 s default). Thread engine only — the event engine detects
+    /// deadlocks exactly without any wall-clock deadline.
+    recv_timeout: Option<Duration>,
     /// Fault/perturbation schedule applied to every run; `None` is the clean model.
     chaos: Option<ChaosPlan>,
+    engine: Engine,
+    /// Event-engine run-token count; `None` defers to `SIMNET_WORKERS`, else
+    /// the machine's available parallelism.
+    workers: Option<usize>,
+    /// Idle-pool byte budget; `None` defers to `SIMNET_POOL_BUDGET_BYTES`
+    /// (else 64 MiB).
+    pool_budget_bytes: Option<usize>,
+    /// Thread-engine watchdog poll interval; `None` defers to
+    /// `SIMNET_WATCHDOG_POLL_MS` (else 50 ms). Unused by the event engine.
+    watchdog_poll: Option<Duration>,
 }
 
 /// Everything a simulation run produces.
@@ -43,17 +65,29 @@ impl<T> SimReport<T> {
 }
 
 impl Cluster {
-    /// A cluster of `size` ranks under the given cost model.
+    /// A cluster of `size` ranks under the given cost model, on the engine
+    /// selected by `SIMNET_ENGINE` (default: [`Engine::Thread`]).
     pub fn new(size: usize, cost: CostModel) -> Self {
         assert!(size >= 1, "cluster needs at least one rank");
-        Self { size, cost, stack_bytes: 8 << 20, recv_timeout: None, chaos: None }
+        Self {
+            size,
+            cost,
+            stack_bytes: 8 << 20,
+            recv_timeout: None,
+            chaos: None,
+            engine: Engine::from_env(),
+            workers: None,
+            pool_budget_bytes: None,
+            watchdog_poll: None,
+        }
     }
 
     /// Install a [`ChaosPlan`]: every subsequent [`run`](Self::run) charges
     /// virtual time through the plan's perturbations (stragglers, link
     /// degradation, jitter, pauses). The plan is compiled once per run and
     /// shared read-only by all ranks, so runs stay deterministic — same plan,
-    /// same seed ⇒ bit-identical results and virtual-time trajectories.
+    /// same seed ⇒ bit-identical results and virtual-time trajectories, on
+    /// either engine.
     ///
     /// # Panics
     /// [`run`](Self::run) panics if the plan names a rank `>= size`.
@@ -62,13 +96,57 @@ impl Cluster {
         self
     }
 
-    /// Override the wall-clock deadline after which a blocking `recv` declares the
-    /// simulation deadlocked (default: `SIMNET_RECV_DEADLOCK_SECS`, else 180 s).
-    /// Tests that *expect* a deadlock set this low to fail fast; long sweeps on
-    /// oversubscribed machines raise it.
-    pub fn with_recv_timeout(mut self, timeout: std::time::Duration) -> Self {
-        assert!(timeout > std::time::Duration::ZERO, "recv timeout must be positive");
+    /// Override the wall-clock deadline after which a blocking thread-engine
+    /// `recv` (or barrier wait) declares the simulation deadlocked (default:
+    /// `SIMNET_RECV_DEADLOCK_SECS`, else 180 s). Tests that *expect* a deadlock
+    /// set this low to fail fast; long sweeps on oversubscribed machines raise
+    /// it. The event engine ignores it — detection there is exact and instant.
+    pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
+        assert!(timeout > Duration::ZERO, "recv timeout must be positive");
         self.recv_timeout = Some(timeout);
+        self
+    }
+
+    /// Select the execution engine explicitly, overriding `SIMNET_ENGINE`.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Bound the number of concurrently-runnable rank continuations under the
+    /// event engine (default: `SIMNET_WORKERS`, else available parallelism).
+    /// Results never depend on this value.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Set the per-rank thread stack size (default 8 MiB). Large-P event-engine
+    /// sweeps shrink this: 2048 ranks × 8 MiB reserves 16 GiB of address space
+    /// for stacks that mostly sit parked.
+    pub fn with_stack_bytes(mut self, bytes: usize) -> Self {
+        assert!(bytes >= 64 << 10, "rank stacks below 64 KiB are not survivable");
+        self.stack_bytes = bytes;
+        self
+    }
+
+    /// Cap the total bytes retained *idle* across all ranks' recycled-buffer
+    /// free-lists (default: `SIMNET_POOL_BUDGET_BYTES`, else 64 MiB). Memory in
+    /// flight is never charged; the cap only stops P=2048 runs from hoarding
+    /// O(P · bucket) idle buffers.
+    pub fn with_pool_budget(mut self, bytes: usize) -> Self {
+        self.pool_budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Set the thread-engine watchdog poll interval (default:
+    /// `SIMNET_WATCHDOG_POLL_MS`, else 50 ms): how quickly a blocked wait
+    /// notices a dead peer. The event engine needs no watchdog and skips this
+    /// entirely.
+    pub fn with_watchdog_poll(mut self, poll: Duration) -> Self {
+        assert!(poll > Duration::ZERO, "watchdog poll must be positive");
+        self.watchdog_poll = Some(poll);
         self
     }
 
@@ -82,65 +160,38 @@ impl Cluster {
         self.cost
     }
 
+    /// The engine this cluster runs on.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
     /// Run `f` on every rank concurrently and gather results.
     ///
     /// `f` receives a mutable [`Comm`]; its return value, the rank's final virtual
     /// time and the global traffic ledger are collected into a [`SimReport`].
     ///
     /// # Panics
-    /// Propagates any rank's panic (after all threads are joined or disconnected).
+    /// Propagates the *originating* rank's panic after all rank threads have
+    /// stopped; ranks aborted as casualties of another rank's fault unwind
+    /// quietly and are never the reported failure. An exact deadlock detected
+    /// by the event engine panics with the full blocked-rank report.
     pub fn run<T, F>(&self, f: F) -> SimReport<T>
     where
         T: Send,
         F: Fn(&mut Comm) -> T + Send + Sync,
     {
         let ledger = Arc::new(Ledger::new());
-        let barrier = Arc::new(BarrierState::new());
-        let recv_deadline = self.recv_timeout.unwrap_or_else(crate::comm::default_recv_deadline);
         let compiled = self.chaos.as_ref().map(|plan| Arc::new(plan.compile(self.size)));
-        let (senders, receivers): (Vec<_>, Vec<_>) =
-            (0..self.size).map(|_| unbounded::<Envelope>()).unzip();
-
-        let mut slots: Vec<Option<(T, f64)>> = Vec::with_capacity(self.size);
-        slots.resize_with(self.size, || None);
-
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(self.size);
-            for (rank, inbox) in receivers.into_iter().enumerate() {
-                let senders = senders.clone();
-                let ledger = Arc::clone(&ledger);
-                let barrier = Arc::clone(&barrier);
-                let view = compiled.as_ref().map(|c| ChaosView::new(Arc::clone(c), rank));
-                let f = &f;
-                let handle = std::thread::Builder::new()
-                    .name(format!("rank-{rank}"))
-                    .stack_size(self.stack_bytes)
-                    .spawn_scoped(scope, move || {
-                        let mut comm = Comm::new(
-                            rank,
-                            self.size,
-                            self.cost,
-                            ledger,
-                            senders,
-                            inbox,
-                            barrier,
-                            recv_deadline,
-                            view,
-                        );
-                        let result = f(&mut comm);
-                        (result, comm.local_finish_time())
-                    })
-                    .expect("failed to spawn rank thread");
-                handles.push(handle);
-            }
-            for (rank, handle) in handles.into_iter().enumerate() {
-                match handle.join() {
-                    Ok(pair) => slots[rank] = Some(pair),
-                    Err(payload) => std::panic::resume_unwind(payload),
-                }
-            }
-        });
-
+        let budget = Arc::new(PoolBudget::new(
+            self.pool_budget_bytes.unwrap_or_else(crate::comm::default_pool_budget_bytes),
+        ));
+        let (slots, panics, fault) = match self.engine {
+            Engine::Thread => self.run_threaded(&f, &ledger, compiled, budget),
+            Engine::Event => self.run_event(&f, &ledger, compiled, budget),
+        };
+        if !panics.is_empty() {
+            resolve_panics(panics, fault);
+        }
         let mut results = Vec::with_capacity(self.size);
         let mut times = Vec::with_capacity(self.size);
         for slot in slots {
@@ -150,6 +201,177 @@ impl Cluster {
         }
         SimReport { results, times, ledger: ledger.snapshot() }
     }
+
+    /// Thread engine: one kernel-scheduled OS thread per rank, channels for
+    /// transport, condvar barrier, wall-clock watchdogs. A rank panic sets the
+    /// shared poisoned flag so every blocked peer cascades within one watchdog
+    /// poll instead of waiting out its deadline.
+    #[allow(clippy::type_complexity)]
+    fn run_threaded<T, F>(
+        &self,
+        f: &F,
+        ledger: &Arc<Ledger>,
+        compiled: Option<Arc<CompiledChaos>>,
+        budget: Arc<PoolBudget>,
+    ) -> (Vec<Option<(T, f64)>>, Vec<Box<dyn Any + Send>>, Option<String>)
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Send + Sync,
+    {
+        let barrier = Arc::new(BarrierState::new());
+        let poisoned = Arc::new(AtomicBool::new(false));
+        let recv_deadline = self.recv_timeout.unwrap_or_else(crate::comm::default_recv_deadline);
+        let poll = self.watchdog_poll.unwrap_or_else(crate::comm::default_watchdog_poll);
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..self.size).map(|_| unbounded::<Envelope>()).unzip();
+
+        let mut slots: Vec<Option<(T, f64)>> = Vec::with_capacity(self.size);
+        slots.resize_with(self.size, || None);
+        let mut panics: Vec<Box<dyn Any + Send>> = Vec::new();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.size);
+            for (rank, inbox) in receivers.into_iter().enumerate() {
+                let senders = senders.clone();
+                let ledger = Arc::clone(ledger);
+                let barrier = Arc::clone(&barrier);
+                let budget = Arc::clone(&budget);
+                let poisoned = Arc::clone(&poisoned);
+                let view = compiled.as_ref().map(|c| ChaosView::new(Arc::clone(c), rank));
+                let handle = std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .stack_size(self.stack_bytes)
+                    .spawn_scoped(scope, move || {
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            let mut comm = Comm::new(
+                                rank,
+                                self.size,
+                                self.cost,
+                                ledger,
+                                Backend::Thread {
+                                    senders,
+                                    inbox,
+                                    barrier,
+                                    recv_deadline,
+                                    poll,
+                                    poisoned: Arc::clone(&poisoned),
+                                },
+                                budget,
+                                view,
+                            );
+                            let r = f(&mut comm);
+                            (r, comm.local_finish_time())
+                        }));
+                        if result.is_err() {
+                            poisoned.store(true, Ordering::Relaxed);
+                        }
+                        result
+                    })
+                    .expect("failed to spawn rank thread");
+                handles.push(handle);
+            }
+            for (rank, handle) in handles.into_iter().enumerate() {
+                match handle.join().unwrap_or_else(Err) {
+                    Ok(pair) => slots[rank] = Some(pair),
+                    Err(payload) => panics.push(payload),
+                }
+            }
+        });
+        (slots, panics, None)
+    }
+
+    /// Discrete-event engine: one parked continuation per rank, run tokens
+    /// granted in virtual-time order by the shared [`EventCore`], exact
+    /// deadlock detection. See [`crate::engine`] for the design.
+    #[allow(clippy::type_complexity)]
+    fn run_event<T, F>(
+        &self,
+        f: &F,
+        ledger: &Arc<Ledger>,
+        compiled: Option<Arc<CompiledChaos>>,
+        budget: Arc<PoolBudget>,
+    ) -> (Vec<Option<(T, f64)>>, Vec<Box<dyn Any + Send>>, Option<String>)
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Send + Sync,
+    {
+        let workers = self.workers.unwrap_or_else(default_workers).max(1);
+        let core = Arc::new(EventCore::new(self.size, workers));
+
+        let mut slots: Vec<Option<(T, f64)>> = Vec::with_capacity(self.size);
+        slots.resize_with(self.size, || None);
+        let mut panics: Vec<Box<dyn Any + Send>> = Vec::new();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.size);
+            for rank in 0..self.size {
+                let core = Arc::clone(&core);
+                let ledger = Arc::clone(ledger);
+                let budget = Arc::clone(&budget);
+                let view = compiled.as_ref().map(|c| ChaosView::new(Arc::clone(c), rank));
+                let handle = std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .stack_size(self.stack_bytes)
+                    .spawn_scoped(scope, move || {
+                        core.start(rank);
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            let mut comm = Comm::new(
+                                rank,
+                                self.size,
+                                self.cost,
+                                ledger,
+                                Backend::Event { core: Arc::clone(&core) },
+                                budget,
+                                view,
+                            );
+                            let r = f(&mut comm);
+                            (r, comm.local_finish_time())
+                        }));
+                        match result {
+                            Ok(pair) => {
+                                core.finish(rank);
+                                Ok(pair)
+                            }
+                            Err(payload) => {
+                                core.rank_panicked(rank);
+                                Err(payload)
+                            }
+                        }
+                    })
+                    .expect("failed to spawn rank thread");
+                handles.push(handle);
+            }
+            for (rank, handle) in handles.into_iter().enumerate() {
+                match handle.join().unwrap_or_else(Err) {
+                    Ok(pair) => slots[rank] = Some(pair),
+                    Err(payload) => panics.push(payload),
+                }
+            }
+        });
+        let fault = core.fault_message();
+        (slots, panics, fault)
+    }
+}
+
+/// Report a failed run: re-raise the first *originating* panic (in rank
+/// order), never a quiet [`Cascade`] casualty. If every payload is a cascade
+/// — the event engine detected a deadlock and no rank panicked on its own —
+/// panic with the core's fault report instead.
+fn resolve_panics(panics: Vec<Box<dyn Any + Send>>, fault: Option<String>) -> ! {
+    let mut cascades = Vec::new();
+    for payload in panics {
+        if payload.is::<Cascade>() {
+            cascades.push(payload);
+        } else {
+            std::panic::resume_unwind(payload);
+        }
+    }
+    if let Some(msg) = fault {
+        panic!("{msg}");
+    }
+    // Only cascades and no stored fault: should be unreachable, but re-raising
+    // a casualty beats swallowing a failed run.
+    std::panic::resume_unwind(cascades.into_iter().next().expect("resolve_panics without panics"))
 }
 
 #[cfg(test)]
@@ -263,19 +485,21 @@ mod tests {
     fn short_recv_timeout_turns_deadlock_into_fast_panic() {
         // A recv with no matching send is a deadlock; with the per-cluster timeout
         // lowered it must surface as a panic within the timeout, not after 180 s.
+        // (Under the event engine the deadline is irrelevant: detection is exact
+        // and immediate.)
         let start = std::time::Instant::now();
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            Cluster::new(2, CostModel::free())
-                .with_recv_timeout(std::time::Duration::from_millis(100))
-                .run(|comm| {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Cluster::new(2, CostModel::free()).with_recv_timeout(Duration::from_millis(100)).run(
+                |comm| {
                     if comm.rank() == 0 {
                         let _: Vec<f32> = comm.recv(1, 0); // never sent
                     }
-                })
+                },
+            )
         }));
         assert!(result.is_err(), "missing send must panic");
         assert!(
-            start.elapsed() < std::time::Duration::from_secs(30),
+            start.elapsed() < Duration::from_secs(30),
             "timeout did not take effect: {:?}",
             start.elapsed()
         );
@@ -283,7 +507,7 @@ mod tests {
 
     #[test]
     fn rank_panic_propagates_to_caller() {
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let result = catch_unwind(AssertUnwindSafe(|| {
             Cluster::new(3, CostModel::free()).run(|comm| {
                 if comm.rank() == 1 {
                     panic!("injected failure on rank 1");
@@ -291,26 +515,43 @@ mod tests {
                 comm.rank()
             })
         }));
-        assert!(result.is_err(), "a rank's panic must fail the whole run");
+        let payload = match result {
+            Ok(_) => panic!("a rank's panic must fail the whole run"),
+            Err(payload) => payload,
+        };
+        // The *originating* panic is what propagates, not a quiet cascade.
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("injected failure"), "got panic payload: {msg:?}");
     }
 
     #[test]
-    fn send_to_dead_rank_panics_not_hangs() {
-        // Rank 1 dies; rank 0's send to it must panic (channel disconnect), not
-        // block forever.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            Cluster::new(2, CostModel::free()).run(|comm| {
-                if comm.rank() == 1 {
-                    panic!("early exit");
-                }
-                // Give rank 1 time to die, then try to talk to it repeatedly.
-                std::thread::sleep(std::time::Duration::from_millis(50));
-                for i in 0..1000 {
-                    comm.send(1, 0, vec![i as f32]);
-                }
-            })
+    fn peer_death_cascades_blocked_recv_quickly() {
+        // Rank 1 dies; rank 0 is blocked receiving from it. The poisoned-flag
+        // watchdog (thread engine) or the exact deadlock/fault machinery (event
+        // engine) must fail the run in ~one poll interval — no hard-coded
+        // sleeps, and nowhere near the 180 s default recv deadline.
+        let start = std::time::Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Cluster::new(2, CostModel::free()).with_watchdog_poll(Duration::from_millis(10)).run(
+                |comm| {
+                    if comm.rank() == 1 {
+                        panic!("early exit");
+                    }
+                    let _: Vec<f32> = comm.recv(1, 0); // rank 1 never sends
+                },
+            )
         }));
-        assert!(result.is_err());
+        assert!(result.is_err(), "peer death must fail the run");
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "peer death took too long to cascade: {:?}",
+            start.elapsed()
+        );
     }
 
     #[test]

@@ -1,31 +1,53 @@
 //! Per-rank communicator: typed point-to-point messaging over a modeled network.
+//!
+//! `Comm` is engine-agnostic: the same blocking API runs on the thread engine
+//! (messages over real channels, wall-clock watchdogs) and on the discrete-event
+//! engine (messages through [`EventCore`], blocking points park the rank
+//! continuation, deadlocks detected exactly). The [`Backend`] enum below is the
+//! only place the two transports diverge; every charging path above it is
+//! shared, which is what makes the engines bit-identical.
 
 use crate::cost::{CostModel, WireSize};
+use crate::engine::{cascade, EventCore};
 use crate::envelope::{Envelope, Payload};
 use crate::ledger::Ledger;
 use crate::request::{RecvHandle, SendHandle};
 use crate::trace::{TraceEvent, TraceKind};
 use chaos::ChaosView;
-use crossbeam_channel::{Receiver, Sender};
+use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Message tag, used to match sends with receives (like an MPI tag).
 pub type Tag = u64;
 
 /// Default wall-clock deadline for a `recv` blocking on the real channel before the
 /// simulation is declared deadlocked. Virtual time is unrelated; this only catches
-/// algorithm bugs in tests.
+/// algorithm bugs in tests. (Thread engine only — the event engine detects
+/// deadlocks exactly and ignores this.)
 const RECV_DEADLOCK_DEFAULT_SECS: u64 = 180;
+
+/// Default interval at which a blocked thread-engine wait (recv or barrier)
+/// wakes to check whether a peer rank died, so one rank's panic cascades in
+/// ~this much wall time instead of the full recv deadline.
+const WATCHDOG_POLL_DEFAULT_MS: u64 = 50;
+
+/// Default global byte budget for idle pooled buffers across all ranks of one
+/// run (64 MiB). At P=2048 an uncapped per-rank pool would retain
+/// O(P · MAX_POOL · bucket) bytes of idle free-list memory; the budget bounds
+/// the total while leaving small-P runs effectively uncapped.
+const POOL_BUDGET_DEFAULT_BYTES: usize = 64 << 20;
 
 /// Most recycled buffers a rank keeps per element type. Sized to cover a full
 /// bucket of the bucketed collectives (send a bucket, then drain a bucket):
 /// the drain recycles up to a bucket's worth of storage that the next bucket's
 /// sends take back out, so buckets up to this deep stay allocation-free in
 /// steady state. The pool is a cap, not a preallocation — it only ever holds
-/// buffers a `recv` actually returned.
+/// buffers a `recv` actually returned. The global [`PoolBudget`] additionally
+/// caps the *bytes* retained across all ranks.
 const MAX_POOL: usize = 32;
 
 /// The recv-deadlock deadline in effect when a [`crate::Cluster`] does not set one
@@ -47,6 +69,87 @@ pub(crate) fn default_recv_deadline() -> Duration {
         },
         Err(_) => RECV_DEADLOCK_DEFAULT_SECS,
     }))
+}
+
+/// The thread-engine watchdog poll interval when the cluster does not set one:
+/// `SIMNET_WATCHDOG_POLL_MS` (positive integer milliseconds), else 50 ms.
+/// The event engine has no watchdog to poll — deadlock detection is exact —
+/// so this knob is meaningless there.
+pub(crate) fn default_watchdog_poll() -> Duration {
+    static MS: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    Duration::from_millis(*MS.get_or_init(|| match std::env::var("SIMNET_WATCHDOG_POLL_MS") {
+        Ok(raw) => match raw.trim().parse::<u64>() {
+            Ok(ms) if ms > 0 => ms,
+            _ => {
+                eprintln!(
+                    "simnet: ignoring invalid SIMNET_WATCHDOG_POLL_MS={raw:?} \
+                         (want a positive integer of milliseconds)"
+                );
+                WATCHDOG_POLL_DEFAULT_MS
+            }
+        },
+        Err(_) => WATCHDOG_POLL_DEFAULT_MS,
+    }))
+}
+
+/// The idle-pool byte budget when the cluster does not set one:
+/// `SIMNET_POOL_BUDGET_BYTES` (non-negative integer), else 64 MiB.
+pub(crate) fn default_pool_budget_bytes() -> usize {
+    static BYTES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *BYTES.get_or_init(|| match std::env::var("SIMNET_POOL_BUDGET_BYTES") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(b) => b,
+            Err(_) => {
+                eprintln!(
+                    "simnet: ignoring invalid SIMNET_POOL_BUDGET_BYTES={raw:?} \
+                         (want a non-negative integer of bytes)"
+                );
+                POOL_BUDGET_DEFAULT_BYTES
+            }
+        },
+        Err(_) => POOL_BUDGET_DEFAULT_BYTES,
+    })
+}
+
+/// Global byte budget for *idle* pooled buffers, shared by all ranks of one
+/// run. A `recycle_*` only retains its buffer if it can reserve the buffer's
+/// capacity from the budget; a `take_*` that reuses a pooled buffer releases
+/// the reservation. The budget therefore bounds the total bytes sitting idle
+/// in free-lists — memory actively in flight is never charged.
+///
+/// Whether a particular recycle wins the reservation can depend on cross-rank
+/// interleaving, but that only decides *allocation reuse*: taken buffers are
+/// always cleared, so modeled clocks, data and ledgers are unaffected and
+/// cross-engine parity holds regardless.
+pub(crate) struct PoolBudget {
+    remaining: AtomicI64,
+}
+
+impl PoolBudget {
+    pub(crate) fn new(bytes: usize) -> Self {
+        Self { remaining: AtomicI64::new(bytes.min(i64::MAX as usize) as i64) }
+    }
+
+    fn try_reserve(&self, bytes: usize) -> bool {
+        let bytes = bytes.min(i64::MAX as usize) as i64;
+        let prev = self.remaining.fetch_sub(bytes, Ordering::Relaxed);
+        if prev < bytes {
+            self.remaining.fetch_add(bytes, Ordering::Relaxed);
+            false
+        } else {
+            true
+        }
+    }
+
+    fn release(&self, bytes: usize) {
+        self.remaining.fetch_add(bytes.min(i64::MAX as usize) as i64, Ordering::Relaxed);
+    }
+
+    /// Bytes still reservable (for tests/diagnostics).
+    #[cfg(test)]
+    pub(crate) fn remaining_bytes(&self) -> i64 {
+        self.remaining.load(Ordering::Relaxed)
+    }
 }
 
 /// Latency charged for a dissemination barrier: `α·⌈log2 P⌉`.
@@ -82,9 +185,19 @@ impl BarrierState {
         }
     }
 
-    /// Block until all `size` ranks have arrived; returns the maximum of the submitted
-    /// clock values. Safe for repeated use (generation-counted).
-    fn wait(&self, size: usize, t_in: f64) -> f64 {
+    /// Block until all `size` ranks have arrived; returns the maximum of the
+    /// submitted clock values. Safe for repeated use (generation-counted).
+    /// Waits in `poll`-sized slices so a peer's death (`poisoned`) cascades
+    /// quickly instead of hanging, and gives up after `deadline` — a rank that
+    /// never arrives is a deadlock just like a missing send.
+    fn wait(
+        &self,
+        size: usize,
+        t_in: f64,
+        poll: Duration,
+        deadline: Duration,
+        poisoned: &AtomicBool,
+    ) -> f64 {
         let mut inner = self.inner.lock();
         inner.max_time = inner.max_time.max(t_in);
         inner.arrived += 1;
@@ -97,12 +210,50 @@ impl BarrierState {
             inner.result
         } else {
             let gen = inner.generation;
+            let start = Instant::now();
             while inner.generation == gen {
-                self.cv.wait(&mut inner);
+                if poisoned.load(Ordering::Relaxed) {
+                    cascade();
+                }
+                let elapsed = start.elapsed();
+                if elapsed >= deadline {
+                    panic!(
+                        "barrier timed out after {deadline:?} — some rank never arrived \
+                         (likely deadlock; deadline configurable via Cluster::with_recv_timeout \
+                         or SIMNET_RECV_DEADLOCK_SECS)"
+                    );
+                }
+                let step = poll.min(deadline - elapsed);
+                self.cv.wait_for(&mut inner, step);
             }
             inner.result
         }
     }
+}
+
+/// How a `Comm` talks to the rest of the cluster — the only engine-specific
+/// seam. Everything above it (clock charging, matching, pooling, chaos) is
+/// shared between engines.
+pub(crate) enum Backend {
+    /// Thread engine: real channels between OS threads, condvar barrier,
+    /// wall-clock watchdogs with a poisoned-flag fast path for peer death.
+    Thread {
+        senders: Vec<Sender<Envelope>>,
+        inbox: Receiver<Envelope>,
+        barrier: Arc<BarrierState>,
+        /// Wall-clock deadline after which a blocked wait declares deadlock.
+        /// Already includes the chaos plan's wall-hold budget (see
+        /// [`Comm::new`]), so injected pauses are never misreported.
+        recv_deadline: Duration,
+        /// Interval at which blocked waits recheck `poisoned`.
+        poll: Duration,
+        /// Set by the cluster when any rank panics; blocked waits observe it
+        /// within one poll interval and cascade instead of hanging.
+        poisoned: Arc<AtomicBool>,
+    },
+    /// Discrete-event engine: the shared core owns delivery, parking, barrier
+    /// and exact deadlock detection. No watchdogs, no wall-clock sleeps.
+    Event { core: Arc<EventCore> },
 }
 
 /// Per-rank free-lists of recycled message buffers.
@@ -139,38 +290,32 @@ pub struct Comm {
     /// Optional per-rank execution trace (see [`crate::trace`]).
     trace: Option<Vec<TraceEvent>>,
     ledger: Arc<Ledger>,
-    senders: Vec<Sender<Envelope>>,
-    inbox: Receiver<Envelope>,
+    backend: Backend,
     mailbox: HashMap<(usize, Tag), VecDeque<Envelope>>,
     pool: BufPool,
-    barrier: Arc<BarrierState>,
-    /// Wall-clock deadline after which a blocking `recv` declares deadlock.
-    /// Already includes the chaos plan's wall-hold budget (see [`Comm::new`]),
-    /// so injected pauses are never misreported as deadlocks.
-    recv_deadline: Duration,
+    pool_budget: Arc<PoolBudget>,
     /// This rank's view of the installed chaos plan, if any. `None` keeps every
     /// charging path bit-identical to the clean model.
     chaos: Option<ChaosView>,
 }
 
 impl Comm {
-    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         rank: usize,
         size: usize,
         cost: CostModel,
         ledger: Arc<Ledger>,
-        senders: Vec<Sender<Envelope>>,
-        inbox: Receiver<Envelope>,
-        barrier: Arc<BarrierState>,
-        recv_deadline: Duration,
+        mut backend: Backend,
+        pool_budget: Arc<PoolBudget>,
         chaos: Option<ChaosView>,
     ) -> Self {
         // A paused peer holds the real channel for up to the plan's wall-hold
-        // budget; the deadlock watchdog must wait that much longer before
-        // declaring the run stuck.
-        let recv_deadline =
-            recv_deadline + chaos.as_ref().map(ChaosView::extra_wall_budget).unwrap_or_default();
+        // budget; the thread-engine deadlock watchdog must wait that much
+        // longer before declaring the run stuck. (The event engine serves no
+        // wall holds and needs no deadline at all.)
+        if let Backend::Thread { recv_deadline, .. } = &mut backend {
+            *recv_deadline += chaos.as_ref().map(ChaosView::extra_wall_budget).unwrap_or_default();
+        }
         Self {
             rank,
             size,
@@ -182,12 +327,10 @@ impl Comm {
             free_mode: false,
             trace: None,
             ledger,
-            senders,
-            inbox,
+            backend,
             mailbox: HashMap::new(),
             pool: BufPool::default(),
-            barrier,
-            recv_deadline,
+            pool_budget,
             chaos,
         }
     }
@@ -255,6 +398,11 @@ impl Comm {
     /// the resume time, freeze the NIC ports along with it, trace the frozen
     /// interval, and serve any wall-clock hold the plan prescribes. A no-op
     /// without a chaos plan (or outside every pause window).
+    ///
+    /// The *virtual* charging is identical in both engines; the wall-clock hold
+    /// is only served on the thread engine — under the event engine, wall time
+    /// is invisible (no watchdogs race against it), so sleeping would waste
+    /// real time without changing any modeled quantity.
     fn apply_pause(&mut self) {
         let Some(view) = &self.chaos else { return };
         let resumed = view.unpause(self.now);
@@ -266,7 +414,9 @@ impl Comm {
             self.rcv_free = self.rcv_free.max(resumed);
             self.record_tagged(start, resumed, TraceKind::Pause, true);
             if hold > Duration::ZERO {
-                std::thread::sleep(hold);
+                if let Backend::Thread { .. } = self.backend {
+                    std::thread::sleep(hold);
+                }
             }
         }
     }
@@ -302,10 +452,12 @@ impl Comm {
     /// Take a cleared `f32` buffer with capacity ≥ `cap` from this rank's pool,
     /// allocating only if the free-list is empty. Pair with
     /// [`recycle_f32`](Self::recycle_f32) to make steady-state messaging
-    /// allocation-free.
+    /// allocation-free. Reusing a pooled buffer returns its bytes to the
+    /// cluster-wide idle-pool budget.
     pub fn take_f32(&mut self, cap: usize) -> Vec<f32> {
         match self.pool.f32s.pop() {
             Some(mut buf) => {
+                self.pool_budget.release(buf.capacity() * 4);
                 buf.clear();
                 buf.reserve(cap);
                 buf
@@ -315,9 +467,14 @@ impl Comm {
     }
 
     /// Return a no-longer-needed `f32` buffer (e.g. one a `recv` produced) to
-    /// this rank's free-list; keeps at most a handful, drops the rest.
+    /// this rank's free-list. Keeps at most a handful per rank, and only while
+    /// the cluster-wide idle-pool byte budget has room; otherwise the buffer is
+    /// simply dropped (P=2048 runs must not retain O(P · bucket) idle bytes).
     pub fn recycle_f32(&mut self, buf: Vec<f32>) {
-        if self.pool.f32s.len() < MAX_POOL && buf.capacity() > 0 {
+        if self.pool.f32s.len() < MAX_POOL
+            && buf.capacity() > 0
+            && self.pool_budget.try_reserve(buf.capacity() * 4)
+        {
             self.pool.f32s.push(buf);
         }
     }
@@ -326,6 +483,7 @@ impl Comm {
     pub fn take_u32(&mut self, cap: usize) -> Vec<u32> {
         match self.pool.u32s.pop() {
             Some(mut buf) => {
+                self.pool_budget.release(buf.capacity() * 4);
                 buf.clear();
                 buf.reserve(cap);
                 buf
@@ -334,11 +492,21 @@ impl Comm {
         }
     }
 
-    /// Return a no-longer-needed `u32` buffer to this rank's free-list.
+    /// Return a no-longer-needed `u32` buffer to this rank's free-list (same
+    /// budget rules as [`recycle_f32`](Self::recycle_f32)).
     pub fn recycle_u32(&mut self, buf: Vec<u32>) {
-        if self.pool.u32s.len() < MAX_POOL && buf.capacity() > 0 {
+        if self.pool.u32s.len() < MAX_POOL
+            && buf.capacity() > 0
+            && self.pool_budget.try_reserve(buf.capacity() * 4)
+        {
             self.pool.u32s.push(buf);
         }
+    }
+
+    /// Bytes currently held idle in this rank's buffer free-lists.
+    pub fn pooled_bytes(&self) -> usize {
+        self.pool.f32s.iter().map(|b| b.capacity() * 4).sum::<usize>()
+            + self.pool.u32s.iter().map(|b| b.capacity() * 4).sum::<usize>()
     }
 
     /// Charge the injection port for a message of `elems` elements to `dst` and
@@ -386,11 +554,16 @@ impl Comm {
     ) {
         let (head_arrival, beta, perturbed) = stamp;
         let env = Envelope { src: self.rank, tag, head_arrival, elems, beta, perturbed, payload };
-        // The channel is unbounded; a send can only fail if the receiver thread
-        // panicked, in which case propagating the panic here is the right outcome.
-        self.senders[dst]
-            .send(env)
-            .unwrap_or_else(|_| panic!("rank {dst} hung up (its thread panicked)"));
+        match &self.backend {
+            Backend::Thread { senders, .. } => {
+                // The channel is unbounded; a send can only fail if the receiver
+                // thread is gone, in which case propagating a panic is right.
+                senders[dst]
+                    .send(env)
+                    .unwrap_or_else(|_| panic!("rank {dst} hung up (its thread panicked)"));
+            }
+            Backend::Event { core } => core.post(dst, env),
+        }
     }
 
     /// Non-blocking typed send to `dst`.
@@ -516,11 +689,11 @@ impl Comm {
     /// rank's current virtual time; otherwise return the handle unresolved and
     /// leave all modeled state untouched.
     ///
-    /// May block wall-clock waiting for the matching envelope to appear on the
-    /// real channel — wall-clock is invisible in virtual time, and blocking is
-    /// what keeps the outcome deterministic: the decision depends only on
-    /// modeled quantities (`head_arrival`, port state, `now`), never on thread
-    /// scheduling.
+    /// May block (wall-clock on the thread engine, parking the continuation on
+    /// the event engine) waiting for the matching envelope to appear — that
+    /// blocking is invisible in virtual time and is what keeps the outcome
+    /// deterministic: the decision depends only on modeled quantities
+    /// (`head_arrival`, port state, `now`), never on scheduling.
     pub fn test_recv<T: Send + 'static>(&mut self, req: RecvHandle<T>) -> Result<T, RecvHandle<T>> {
         let (src, tag) = (req.src(), req.tag());
         let env = self.take_matching(src, tag);
@@ -559,6 +732,52 @@ impl Comm {
         self.mailbox.len()
     }
 
+    /// Next envelope delivered to this rank, in arrival order, blocking until
+    /// one exists. Thread engine: poll the channel in watchdog slices (peer
+    /// death cascades within one `poll`; a quiet `recv_deadline` is a
+    /// deadlock). Event engine: the core hands envelopes out and parks the
+    /// continuation exactly while the inbox is empty.
+    fn next_raw_envelope(&mut self, src: usize, tag: Tag) -> Envelope {
+        match &self.backend {
+            Backend::Thread { inbox, recv_deadline, poll, poisoned, .. } => {
+                let start = Instant::now();
+                loop {
+                    if poisoned.load(Ordering::Relaxed) {
+                        // A peer rank panicked; unwind quietly rather than
+                        // waiting out the full deadline on a message that can
+                        // never arrive.
+                        cascade();
+                    }
+                    let elapsed = start.elapsed();
+                    if elapsed >= *recv_deadline {
+                        panic!(
+                            "rank {}: recv(src={src}, tag={tag}) timed out after {:?} — likely \
+                             deadlock or mismatched send/recv pattern (deadline configurable via \
+                             Cluster::with_recv_timeout or SIMNET_RECV_DEADLOCK_SECS)",
+                            self.rank, recv_deadline
+                        );
+                    }
+                    let step = (*poll).min(*recv_deadline - elapsed);
+                    match inbox.recv_timeout(step) {
+                        Ok(env) => return env,
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => {
+                            if poisoned.load(Ordering::Relaxed) {
+                                cascade();
+                            }
+                            panic!(
+                                "rank {}: recv(src={src}, tag={tag}): every peer rank finished \
+                                 without sending a matching message",
+                                self.rank
+                            );
+                        }
+                    }
+                }
+            }
+            Backend::Event { core } => core.next_envelope(self.rank, src, tag, self.now),
+        }
+    }
+
     fn take_matching(&mut self, src: usize, tag: Tag) -> Envelope {
         if let Some(queue) = self.mailbox.get_mut(&(src, tag)) {
             if let Some(env) = queue.pop_front() {
@@ -571,14 +790,7 @@ impl Comm {
             }
         }
         loop {
-            let env = self.inbox.recv_timeout(self.recv_deadline).unwrap_or_else(|_| {
-                panic!(
-                    "rank {}: recv(src={src}, tag={tag}) timed out after {:?} — likely \
-                     deadlock or mismatched send/recv pattern (deadline configurable via \
-                     Cluster::with_recv_timeout or SIMNET_RECV_DEADLOCK_SECS)",
-                    self.rank, self.recv_deadline
-                )
-            });
+            let env = self.next_raw_envelope(src, tag);
             if env.src == src && env.tag == tag {
                 return env;
             }
@@ -591,7 +803,7 @@ impl Comm {
     pub fn barrier(&mut self) {
         self.apply_pause();
         let t_in = self.local_finish_time();
-        let t_max = self.barrier.wait(self.size, t_in);
+        let t_max = self.barrier_exchange(t_in);
         self.now = t_max + barrier_latency(&self.cost, self.size);
         self.rcv_free = self.rcv_free.max(self.now);
         self.inj_free = self.inj_free.max(self.now);
@@ -603,13 +815,19 @@ impl Comm {
     /// beyond a barrier; used by harnesses to agree on a measurement).
     pub fn max_across(&mut self, value: f64) -> f64 {
         // Piggy-back on the barrier machinery by running two rounds: one for the
-        // clock, one for the value. Round two reuses the same generation mechanics.
+        // clock, one for the value. Round two reuses the same rendezvous mechanics.
         self.barrier();
-        self.barrier_value(value)
+        self.barrier_exchange(value)
     }
 
-    fn barrier_value(&self, value: f64) -> f64 {
-        self.barrier.wait(self.size, value)
+    /// One barrier rendezvous round: fold `value`, return the cluster maximum.
+    fn barrier_exchange(&self, value: f64) -> f64 {
+        match &self.backend {
+            Backend::Thread { barrier, recv_deadline, poll, poisoned, .. } => {
+                barrier.wait(self.size, value, *poll, *recv_deadline, poisoned)
+            }
+            Backend::Event { core } => core.barrier_wait(self.rank, value, self.now),
+        }
     }
 }
 
@@ -627,5 +845,23 @@ mod tests {
         assert_eq!(barrier_latency(&c, 5), 3.0);
         assert_eq!(barrier_latency(&c, 8), 3.0);
         assert_eq!(barrier_latency(&c, 9), 4.0);
+    }
+
+    #[test]
+    fn pool_budget_reserve_release_roundtrip() {
+        let b = PoolBudget::new(100);
+        assert!(b.try_reserve(60));
+        assert!(!b.try_reserve(60), "over-budget reservation must fail");
+        assert!(b.try_reserve(40));
+        assert_eq!(b.remaining_bytes(), 0);
+        b.release(60);
+        assert!(b.try_reserve(60));
+    }
+
+    #[test]
+    fn zero_pool_budget_rejects_everything() {
+        let b = PoolBudget::new(0);
+        assert!(!b.try_reserve(1));
+        assert!(b.try_reserve(0), "zero-byte reservation is vacuously fine");
     }
 }

@@ -1,0 +1,481 @@
+//! Execution engines for [`crate::Cluster`]: thread-per-rank vs discrete-event.
+//!
+//! ## Why two engines
+//!
+//! The original engine gives every rank its own OS thread and lets the kernel
+//! schedule them; correctness does not depend on the interleaving (clock
+//! arithmetic only reads per-rank program order and matched message order), but
+//! the *cost* of the interleaving grows with P: at 1024+ ranks the host
+//! scheduler thrashes between hundreds of runnable threads, blocked receives
+//! burn wakeups, and sweeps that the paper runs at 256 nodes become intractable
+//! in one process.
+//!
+//! The discrete-event engine ([`EventCore`]) keeps one thread per rank — the
+//! thread *is* the rank's continuation, so the blocking [`crate::Comm`] API is
+//! preserved verbatim — but hands out **run tokens** from a virtual-time
+//! scheduler instead of letting the OS pick. At most `workers` ranks are
+//! runnable at any instant; every blocking point (recv with an empty inbox,
+//! barrier arrival) parks the rank inside the core and releases its token, and
+//! message delivery / barrier release marks ranks ready again. The ready queue
+//! is ordered by `(virtual clock, rank id)` — lowest clock first, rank id as
+//! the tie-break — so execution tracks the modeled timeline, which keeps
+//! cross-rank backlogs small and makes progress order reproducible.
+//!
+//! Because both engines run the same per-rank programs over the same matched
+//! message streams, they produce **bit-identical** clocks, gradients and
+//! ledgers; the thread engine stays available as a differential oracle
+//! (`SIMNET_ENGINE=thread`, the default).
+//!
+//! ## Exact deadlock detection
+//!
+//! The thread engine can only detect a deadlock with a wall-clock watchdog.
+//! The event core knows the whole cluster state: if no rank holds a run token,
+//! the ready queue is empty and unfinished ranks remain, the simulation cannot
+//! ever progress. The core then records a fault report that names every
+//! blocked rank and walks the recv wait-for graph to print the cycle, and all
+//! parked ranks unwind quietly (see [`Cascade`]).
+
+use crate::comm::Tag;
+use crate::envelope::Envelope;
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Which execution core a [`crate::Cluster`] uses to run rank programs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// One OS thread per rank, scheduled by the kernel; wall-clock watchdogs
+    /// detect deadlocks. The original engine, kept as a differential oracle.
+    #[default]
+    Thread,
+    /// Discrete-event core: one thread per rank as a parked continuation, a
+    /// bounded set of run tokens granted in virtual-time order, and exact
+    /// (watchdog-free) deadlock detection. Required for P ≳ 1024 sweeps.
+    Event,
+}
+
+impl Engine {
+    /// Engine selected by `SIMNET_ENGINE` (`thread` | `event`, case-insensitive);
+    /// unset or invalid values fall back to [`Engine::Thread`].
+    pub fn from_env() -> Self {
+        match std::env::var("SIMNET_ENGINE") {
+            Ok(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+                "event" => Engine::Event,
+                "thread" | "" => Engine::Thread,
+                _ => {
+                    eprintln!(
+                        "simnet: ignoring invalid SIMNET_ENGINE={raw:?} (want `thread` or `event`)"
+                    );
+                    Engine::Thread
+                }
+            },
+            Err(_) => Engine::Thread,
+        }
+    }
+}
+
+/// Default worker count for the event engine: `SIMNET_WORKERS`, else the
+/// machine's available parallelism. Determinism never depends on this — it
+/// only bounds how many rank continuations may run concurrently.
+pub(crate) fn default_workers() -> usize {
+    if let Ok(raw) = std::env::var("SIMNET_WORKERS") {
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => eprintln!("simnet: ignoring invalid SIMNET_WORKERS={raw:?} (want a positive int)"),
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Panic payload for ranks aborted *because some other rank failed* (panic or
+/// detected deadlock). Unwinding with `resume_unwind` and this marker skips
+/// the panic hook, so a 1000-rank cascade prints nothing; the cluster joiner
+/// recognizes the marker and reports the original fault instead.
+pub(crate) struct Cascade;
+
+/// Quietly unwind the current rank as a casualty of another rank's fault.
+pub(crate) fn cascade() -> ! {
+    std::panic::resume_unwind(Box::new(Cascade))
+}
+
+/// Ready-queue key: virtual clock first (total order via `total_cmp`), rank id
+/// as the deterministic tie-break. Wrapped in `Reverse` inside the heap so the
+/// *lowest* virtual time is granted first.
+#[derive(Clone, Copy, Debug)]
+struct ReadyKey {
+    clock: f64,
+    rank: usize,
+}
+
+impl PartialEq for ReadyKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for ReadyKey {}
+impl PartialOrd for ReadyKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ReadyKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.clock.total_cmp(&other.clock).then(self.rank.cmp(&other.rank))
+    }
+}
+
+/// What a rank continuation is doing, from the scheduler's point of view.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Status {
+    /// In the ready queue, waiting for a run token.
+    Ready,
+    /// Holds a run token; its thread is executing user code.
+    Running,
+    /// Parked in a blocking receive for `(src, tag)` with an empty inbox.
+    RecvWait { src: usize, tag: Tag },
+    /// Parked at the cluster barrier.
+    BarrierWait,
+    /// Returned from its closure (or was torn down by a fault).
+    Done,
+}
+
+struct RankSlot {
+    status: Status,
+    /// Virtual clock at the last park — the ready-queue priority when woken.
+    clock: f64,
+    /// Messages delivered to this rank, in arrival order (the event-engine
+    /// analogue of the thread engine's channel).
+    inbox: VecDeque<Envelope>,
+    /// Barrier result snapshot, written by the releasing rank.
+    release: f64,
+}
+
+struct CoreState {
+    ranks: Vec<RankSlot>,
+    ready: BinaryHeap<Reverse<ReadyKey>>,
+    /// Ranks currently holding a run token.
+    running: usize,
+    /// Ranks whose closure returned.
+    finished: usize,
+    /// Barrier arrivals this episode (no generation counter needed: an episode
+    /// cannot restart until every rank it released has resumed past the point
+    /// where its `release` snapshot was read — all `size` ranks must re-arrive
+    /// first, and a released-but-unresumed rank cannot arrive).
+    bar_arrived: usize,
+    bar_max: f64,
+    /// First fault (rank panic or detected deadlock); once set, every rank
+    /// that touches the core unwinds with [`Cascade`].
+    fault: Option<String>,
+}
+
+/// Shared state of the discrete-event engine for one [`crate::Cluster::run`].
+pub(crate) struct EventCore {
+    size: usize,
+    workers: usize,
+    state: Mutex<CoreState>,
+    /// One condvar per rank: each parked continuation waits only on its own.
+    cvs: Vec<Condvar>,
+}
+
+impl EventCore {
+    pub(crate) fn new(size: usize, workers: usize) -> Self {
+        assert!(size >= 1 && workers >= 1);
+        let ranks = (0..size)
+            .map(|_| RankSlot {
+                status: Status::Ready,
+                clock: 0.0,
+                inbox: VecDeque::new(),
+                release: 0.0,
+            })
+            .collect();
+        let ready = (0..size).map(|rank| Reverse(ReadyKey { clock: 0.0, rank })).collect();
+        Self {
+            size,
+            workers,
+            state: Mutex::new(CoreState {
+                ranks,
+                ready,
+                running: 0,
+                finished: 0,
+                bar_arrived: 0,
+                bar_max: f64::NEG_INFINITY,
+                fault: None,
+            }),
+            cvs: (0..size).map(|_| Condvar::new()).collect(),
+        }
+    }
+
+    /// Grant run tokens to the lowest-clock ready ranks while slots are free.
+    fn schedule(&self, st: &mut CoreState) {
+        while st.running < self.workers {
+            let Some(Reverse(key)) = st.ready.pop() else { break };
+            debug_assert_eq!(st.ranks[key.rank].status, Status::Ready);
+            st.ranks[key.rank].status = Status::Running;
+            st.running += 1;
+            self.cvs[key.rank].notify_one();
+        }
+    }
+
+    /// If nothing can ever run again, record the deadlock fault and wake every
+    /// continuation so the run tears down immediately (no watchdog involved).
+    fn check_deadlock(&self, st: &mut CoreState) {
+        if st.fault.is_some() || st.running > 0 || !st.ready.is_empty() || st.finished >= self.size
+        {
+            return;
+        }
+        st.fault = Some(deadlock_report(st, self.size));
+        for cv in &self.cvs {
+            cv.notify_all();
+        }
+    }
+
+    /// Block until this rank holds a run token; cascades if a fault lands first.
+    fn wait_runnable(&self, rank: usize, st: &mut MutexGuard<'_, CoreState>) {
+        loop {
+            if st.fault.is_some() {
+                cascade();
+            }
+            if st.ranks[rank].status == Status::Running {
+                return;
+            }
+            self.cvs[rank].wait(st);
+        }
+    }
+
+    /// Called once by each rank thread before running user code: waits for the
+    /// initial run-token grant (all ranks start Ready at clock 0).
+    pub(crate) fn start(&self, rank: usize) {
+        let mut st = self.state.lock();
+        self.schedule(&mut st);
+        self.wait_runnable(rank, &mut st);
+    }
+
+    /// Pop the next envelope delivered to `rank` (arrival order), parking the
+    /// continuation — token released, status `RecvWait(src, tag)` — whenever
+    /// the inbox is empty. The caller matches/stashes envelopes exactly like
+    /// the thread engine drains its channel, so the matched message order (and
+    /// with it every clock) is identical across engines.
+    pub(crate) fn next_envelope(&self, rank: usize, src: usize, tag: Tag, clock: f64) -> Envelope {
+        let mut st = self.state.lock();
+        if st.fault.is_some() {
+            cascade();
+        }
+        loop {
+            if let Some(env) = st.ranks[rank].inbox.pop_front() {
+                return env;
+            }
+            st.ranks[rank].status = Status::RecvWait { src, tag };
+            st.ranks[rank].clock = clock;
+            st.running -= 1;
+            self.schedule(&mut st);
+            self.check_deadlock(&mut st);
+            self.wait_runnable(rank, &mut st);
+        }
+    }
+
+    /// Deliver an envelope to `dst`. Wakes the destination only when it is
+    /// parked waiting for exactly this `(src, tag)` — a non-matching arrival
+    /// queues silently, sparing the futile wake/stash/re-block round-trip the
+    /// thread engine pays.
+    pub(crate) fn post(&self, dst: usize, env: Envelope) {
+        let mut st = self.state.lock();
+        if st.fault.is_some() {
+            cascade();
+        }
+        match st.ranks[dst].status {
+            Status::Done => panic!(
+                "rank {} sent to rank {dst} (tag {}), which already finished — \
+                 message can never be received",
+                env.src, env.tag
+            ),
+            Status::RecvWait { src, tag } if src == env.src && tag == env.tag => {
+                let clock = st.ranks[dst].clock;
+                st.ranks[dst].inbox.push_back(env);
+                st.ranks[dst].status = Status::Ready;
+                st.ready.push(Reverse(ReadyKey { clock, rank: dst }));
+                self.schedule(&mut st);
+            }
+            _ => st.ranks[dst].inbox.push_back(env),
+        }
+    }
+
+    /// Barrier rendezvous: fold `value` into the episode maximum; the last
+    /// arriver releases everyone with the result snapshot, earlier arrivers
+    /// park (`BarrierWait`) and read the snapshot once rescheduled.
+    pub(crate) fn barrier_wait(&self, rank: usize, value: f64, clock: f64) -> f64 {
+        let mut st = self.state.lock();
+        if st.fault.is_some() {
+            cascade();
+        }
+        st.bar_max = st.bar_max.max(value);
+        st.bar_arrived += 1;
+        if st.bar_arrived == self.size {
+            let result = st.bar_max;
+            st.bar_arrived = 0;
+            st.bar_max = f64::NEG_INFINITY;
+            for r in 0..self.size {
+                if st.ranks[r].status == Status::BarrierWait {
+                    st.ranks[r].release = result;
+                    st.ranks[r].status = Status::Ready;
+                    let c = st.ranks[r].clock;
+                    st.ready.push(Reverse(ReadyKey { clock: c, rank: r }));
+                }
+            }
+            self.schedule(&mut st);
+            result
+        } else {
+            st.ranks[rank].status = Status::BarrierWait;
+            st.ranks[rank].clock = clock;
+            st.running -= 1;
+            self.schedule(&mut st);
+            self.check_deadlock(&mut st);
+            self.wait_runnable(rank, &mut st);
+            st.ranks[rank].release
+        }
+    }
+
+    /// Rank's closure returned: release its token and let the next rank run.
+    /// Remaining blocked ranks (e.g. a recv from this now-finished rank) are
+    /// caught by the deadlock check right here.
+    pub(crate) fn finish(&self, rank: usize) {
+        let mut st = self.state.lock();
+        st.ranks[rank].status = Status::Done;
+        st.running -= 1;
+        st.finished += 1;
+        self.schedule(&mut st);
+        self.check_deadlock(&mut st);
+    }
+
+    /// Rank's closure panicked: record the fault (unless one is already set —
+    /// then this unwind is itself a cascade and the counters were already
+    /// settled) and wake every continuation so the cluster tears down.
+    pub(crate) fn rank_panicked(&self, rank: usize) {
+        let mut st = self.state.lock();
+        if st.fault.is_none() {
+            st.fault = Some(format!("rank {rank} panicked; aborting the run"));
+            st.ranks[rank].status = Status::Done;
+            st.running -= 1;
+        }
+        for cv in &self.cvs {
+            cv.notify_all();
+        }
+    }
+
+    /// The fault report, if the run was torn down (deadlock or rank panic).
+    pub(crate) fn fault_message(&self) -> Option<String> {
+        self.state.lock().fault.clone()
+    }
+}
+
+/// Human-readable exact-deadlock report: every blocked rank with what it waits
+/// for, plus the recv wait-for cycle (or chain) starting from the lowest
+/// blocked rank.
+fn deadlock_report(st: &CoreState, size: usize) -> String {
+    const MAX_LISTED: usize = 16;
+    let blocked: Vec<usize> = (0..size)
+        .filter(|&r| matches!(st.ranks[r].status, Status::RecvWait { .. } | Status::BarrierWait))
+        .collect();
+    let mut msg = format!(
+        "simnet deadlock (exact): no rank can ever run again — {} blocked, {} finished, {size} total\n",
+        blocked.len(),
+        st.finished
+    );
+    for &r in blocked.iter().take(MAX_LISTED) {
+        match st.ranks[r].status {
+            Status::RecvWait { src, tag } => {
+                msg.push_str(&format!(
+                    "  rank {r}: blocked in recv(src={src}, tag={tag}) at t={:.6e}\n",
+                    st.ranks[r].clock
+                ));
+            }
+            Status::BarrierWait => {
+                msg.push_str(&format!(
+                    "  rank {r}: blocked in barrier ({}/{size} arrived) at t={:.6e}\n",
+                    st.bar_arrived, st.ranks[r].clock
+                ));
+            }
+            _ => {}
+        }
+    }
+    if blocked.len() > MAX_LISTED {
+        msg.push_str(&format!("  ... and {} more blocked ranks\n", blocked.len() - MAX_LISTED));
+    }
+    // Walk the recv wait-for graph from the lowest recv-blocked rank.
+    if let Some(&start) =
+        blocked.iter().find(|&&r| matches!(st.ranks[r].status, Status::RecvWait { .. }))
+    {
+        let mut chain = vec![start];
+        let mut cur = start;
+        loop {
+            let Status::RecvWait { src, .. } = st.ranks[cur].status else {
+                msg.push_str(&format!(
+                    "  wait chain: {} — rank {cur} is blocked in {}\n",
+                    fmt_chain(&chain),
+                    match st.ranks[cur].status {
+                        Status::BarrierWait => "the barrier".to_string(),
+                        other => format!("{other:?}"),
+                    }
+                ));
+                break;
+            };
+            if let Some(pos) = chain.iter().position(|&r| r == src) {
+                let mut cycle = chain[pos..].to_vec();
+                cycle.push(src);
+                msg.push_str(&format!("  recv cycle: {}\n", fmt_chain(&cycle)));
+                break;
+            }
+            if st.ranks[src].status == Status::Done {
+                chain.push(src);
+                msg.push_str(&format!(
+                    "  wait chain: {} — rank {src} already finished and will never send\n",
+                    fmt_chain(&chain)
+                ));
+                break;
+            }
+            chain.push(src);
+            cur = src;
+        }
+    }
+    msg.push_str("(deadline-free detection: the event engine needs no watchdog)");
+    msg
+}
+
+fn fmt_chain(chain: &[usize]) -> String {
+    chain.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(" -> ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ready_key_orders_by_clock_then_rank() {
+        let a = ReadyKey { clock: 1.0, rank: 5 };
+        let b = ReadyKey { clock: 2.0, rank: 0 };
+        let c = ReadyKey { clock: 1.0, rank: 6 };
+        assert!(a < b);
+        assert!(a < c);
+        // total_cmp gives a total order even for exotic floats.
+        let nz = ReadyKey { clock: -0.0, rank: 0 };
+        let pz = ReadyKey { clock: 0.0, rank: 0 };
+        assert!(nz < pz);
+    }
+
+    #[test]
+    fn engine_from_env_defaults_to_thread() {
+        // The test runner may set SIMNET_ENGINE; only assert the unset/invalid
+        // fallback via the parse logic on a scratch value.
+        assert_eq!(Engine::default(), Engine::Thread);
+    }
+
+    #[test]
+    fn heap_pops_lowest_clock_first() {
+        let mut heap = BinaryHeap::new();
+        heap.push(Reverse(ReadyKey { clock: 3.0, rank: 0 }));
+        heap.push(Reverse(ReadyKey { clock: 1.0, rank: 2 }));
+        heap.push(Reverse(ReadyKey { clock: 1.0, rank: 1 }));
+        let order: Vec<usize> =
+            std::iter::from_fn(|| heap.pop().map(|Reverse(k)| k.rank)).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+}

@@ -2,10 +2,11 @@
 
 //! # simnet — a simulated message-passing substrate
 //!
-//! This crate stands in for MPI in the Ok-Topk reproduction. Each *rank* is an OS
-//! thread; point-to-point messages carry **real data** (gradient chunks, index lists)
-//! between threads over channels, so every algorithm built on top of simnet is a genuine
-//! parallel implementation whose output can be checked against a serial reference.
+//! This crate stands in for MPI in the Ok-Topk reproduction. Each *rank* runs a
+//! real program; point-to-point messages carry **real data** (gradient chunks,
+//! index lists) between ranks, so every algorithm built on top of simnet is a
+//! genuine parallel implementation whose output can be checked against a serial
+//! reference.
 //!
 //! Time, however, is *modeled*, not measured: simnet maintains a virtual clock per rank
 //! and charges communication using the classic latency–bandwidth (α–β) cost model the
@@ -27,6 +28,23 @@
 //! (waiting for data). The model is deterministic regardless of thread interleaving:
 //! clock arithmetic depends only on per-rank program order and the matched message
 //! order, never on wall-clock races.
+//!
+//! ## Execution engines
+//!
+//! Two interchangeable engines execute the rank programs (select with
+//! `SIMNET_ENGINE=thread|event` or [`Cluster::with_engine`]):
+//!
+//! - [`Engine::Thread`] (default): one kernel-scheduled OS thread per rank,
+//!   channels for transport, wall-clock watchdogs for deadlock detection.
+//! - [`Engine::Event`]: a discrete-event core — rank threads are parked
+//!   continuations, a bounded set of run tokens is granted in virtual-time
+//!   order, and deadlocks are detected *exactly* (no watchdogs). This is the
+//!   engine that scales sweeps to P ≥ 1024 in one process.
+//!
+//! Because clock arithmetic depends only on per-rank program order and matched
+//! message order — never on who physically ran when — the two engines produce
+//! **bit-identical** results, clocks, traces and ledgers for the same inputs;
+//! the thread engine doubles as a differential oracle for the event engine.
 //!
 //! ## Fault injection
 //!
@@ -54,6 +72,7 @@
 mod cluster;
 mod comm;
 mod cost;
+mod engine;
 mod envelope;
 mod ledger;
 pub mod net;
@@ -65,6 +84,7 @@ pub use cluster::{Cluster, SimReport};
 pub use comm::{Comm, Tag};
 pub use cost::Hierarchy;
 pub use cost::{CostModel, WireSize};
+pub use engine::Engine;
 pub use ledger::{Ledger, LedgerSnapshot, PhaseVolume};
 pub use net::{GroupComm, Net};
 pub use request::{RecvHandle, SendHandle};

@@ -22,6 +22,13 @@
 //! already complete when constructed; its `wait` exists for MPI-shaped
 //! symmetry and its [`complete_at`](SendHandle::complete_at) exposes when the
 //! message has fully left the injection port.
+//!
+//! Handles are engine-agnostic: under the thread engine a resolution blocks
+//! the OS thread on its channel, under the event engine it parks the rank
+//! continuation in the scheduler until the matching envelope is delivered.
+//! Either way the modeled outcome is identical — resolution order and the
+//! envelope's sender-stamped timing fields decide the clocks, not the
+//! transport.
 
 use crate::comm::Tag;
 use std::marker::PhantomData;

@@ -1,0 +1,259 @@
+//! Cross-engine tests: the discrete-event engine must be a bit-identical
+//! drop-in for the thread engine, plus event-engine-only regressions (exact
+//! deadlock reports, recv-after-finish, bounded workers).
+
+use simnet::{ChaosPlan, Cluster, CostModel, Engine, LedgerSnapshot, PhaseVolume};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// Canonical, comparable form of a ledger snapshot.
+fn ledger_canon(snap: &LedgerSnapshot, size: usize) -> Vec<((usize, String), PhaseVolume)> {
+    let mut cells = Vec::new();
+    for phase in snap.phases() {
+        for rank in 0..size {
+            let cell = snap.cell(rank, phase);
+            if cell != PhaseVolume::default() {
+                cells.push(((rank, phase.to_string()), cell));
+            }
+        }
+    }
+    cells
+}
+
+/// Run `f` under both engines and assert results, clocks and ledgers agree
+/// bit-for-bit.
+fn assert_parity<T, F>(mut mk: impl FnMut() -> Cluster, f: F) -> (Vec<T>, Vec<f64>)
+where
+    T: Clone + PartialEq + std::fmt::Debug + Send,
+    F: Fn(&mut simnet::Comm) -> T + Send + Sync + Copy,
+{
+    let size = mk().size();
+    let thread = mk().with_engine(Engine::Thread).run(f);
+    let event = mk().with_engine(Engine::Event).run(f);
+    assert_eq!(thread.results, event.results, "per-rank results diverged across engines");
+    assert_eq!(thread.times, event.times, "virtual clocks diverged across engines");
+    assert_eq!(
+        ledger_canon(&thread.ledger, size),
+        ledger_canon(&event.ledger, size),
+        "traffic ledgers diverged across engines"
+    );
+    (event.results, event.times)
+}
+
+/// A messaging-heavy workload: rotated all-to-all with compute and barriers.
+fn busy_workload(comm: &mut simnet::Comm) -> (u64, f64) {
+    let me = comm.rank();
+    let p = comm.size();
+    let mut acc = 0u64;
+    for round in 0..3usize {
+        comm.compute(1e-4 * (me + 1) as f64);
+        for step in 1..p {
+            let dst = (me + step) % p;
+            let payload: Vec<f32> =
+                (0..16 + step).map(|i| (me * 131 + round * 17 + i) as f32).collect();
+            comm.send(dst, round as u64, payload);
+        }
+        for step in 1..p {
+            let src = (me + p - step) % p;
+            let got: Vec<f32> = comm.recv(src, round as u64);
+            for v in got {
+                acc = acc.wrapping_mul(1099511628211).wrapping_add(v.to_bits() as u64);
+            }
+        }
+        comm.barrier();
+    }
+    (acc, comm.now())
+}
+
+#[test]
+fn engines_agree_on_messaging_compute_and_barriers() {
+    assert_parity(|| Cluster::new(8, CostModel::aries()), busy_workload);
+}
+
+#[test]
+fn engines_agree_under_a_chaos_plan() {
+    // Stragglers, link windows, jitter and pauses all charge virtually; the
+    // event engine skips only the *wall* holds, so modeled outcomes match.
+    let plan = || {
+        ChaosPlan::new(2024)
+            .straggler(1, 2.0)
+            .straggler_window(3, 1.5, 0.0, 0.5)
+            .degrade_all_links(1.2, 1.5, 0.0, 0.2)
+            .jitter(5e-5)
+            .pause(2, 0.01, 0.05)
+    };
+    assert_parity(|| Cluster::new(6, CostModel::aries()).with_chaos(plan()), busy_workload);
+}
+
+#[test]
+fn engines_agree_on_out_of_order_irecv_resolution() {
+    // Rank 0 streams three tagged messages; rank 1 posts all three irecvs up
+    // front and resolves them in reverse order. Port charging follows the
+    // resolution order, which both engines must reproduce exactly.
+    let workload = |comm: &mut simnet::Comm| {
+        if comm.rank() == 0 {
+            for tag in 0..3u64 {
+                comm.send(1, tag, vec![tag as f32; 256 * (tag as usize + 1)]);
+            }
+            comm.now()
+        } else {
+            let r0 = comm.irecv::<Vec<f32>>(0, 0);
+            let r1 = comm.irecv::<Vec<f32>>(0, 1);
+            let r2 = comm.irecv::<Vec<f32>>(0, 2);
+            comm.compute(1e-3);
+            let c = comm.wait_recv(r2);
+            let b = comm.wait_recv(r1);
+            let a = comm.wait_recv(r0);
+            assert_eq!((a.len(), b.len(), c.len()), (256, 512, 768));
+            comm.now()
+        }
+    };
+    assert_parity(|| Cluster::new(2, CostModel::aries()), workload);
+}
+
+#[test]
+fn bounded_worker_counts_do_not_change_results() {
+    // The run-token budget caps concurrency, never semantics: W=1 serializes
+    // ranks completely, W=8 lets all of them fly, both must match the oracle.
+    let reference =
+        Cluster::new(8, CostModel::aries()).with_engine(Engine::Thread).run(busy_workload);
+    for workers in [1usize, 2, 3, 8] {
+        let report = Cluster::new(8, CostModel::aries())
+            .with_engine(Engine::Event)
+            .with_workers(workers)
+            .run(busy_workload);
+        assert_eq!(reference.results, report.results, "W={workers} changed results");
+        assert_eq!(reference.times, report.times, "W={workers} changed clocks");
+    }
+}
+
+#[test]
+fn event_engine_reports_recv_cycles_exactly_and_instantly() {
+    // A 3-cycle of receives with no sends: the thread engine would need a
+    // watchdog timeout to notice; the event engine proves it from the empty
+    // ready queue and names the cycle.
+    let start = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        Cluster::new(3, CostModel::free()).with_engine(Engine::Event).run(|comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let _: Vec<f32> = comm.recv(next, 7);
+        })
+    }));
+    let msg = expect_panic(result, "a recv cycle must fail the run");
+    assert!(msg.contains("simnet deadlock (exact)"), "unexpected report: {msg}");
+    assert!(msg.contains("recv cycle:"), "report must name the cycle: {msg}");
+    assert!(msg.contains("needs no watchdog"), "report must note exact detection: {msg}");
+    // Exact detection needs no timeouts; generous bound for slow CI only.
+    assert!(start.elapsed() < Duration::from_secs(30));
+}
+
+#[test]
+fn event_engine_reports_recv_after_finish() {
+    // Rank 1 returns without sending; rank 0 then blocks on it. The report
+    // must say the peer already finished (a chain, not a cycle).
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        Cluster::new(2, CostModel::free()).with_engine(Engine::Event).run(|comm| {
+            if comm.rank() == 0 {
+                let _: Vec<f32> = comm.recv(1, 0);
+            }
+        })
+    }));
+    let msg = expect_panic(result, "recv from a finished rank must fail the run");
+    assert!(msg.contains("simnet deadlock (exact)"), "unexpected report: {msg}");
+    assert!(msg.contains("already finished and will never send"), "unexpected report: {msg}");
+}
+
+#[test]
+fn event_engine_rejects_send_to_finished_rank() {
+    // W=1 pins the interleaving: rank 0 parks on the recv, rank 1 sends and
+    // finishes (Done), then rank 0 resumes and sends into the void.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        Cluster::new(2, CostModel::free()).with_engine(Engine::Event).with_workers(1).run(|comm| {
+            if comm.rank() == 0 {
+                let _: Vec<f32> = comm.recv(1, 0);
+                comm.send(1, 1, vec![1.0f32]);
+            } else {
+                comm.send(0, 0, vec![0.0f32]);
+            }
+        })
+    }));
+    let msg = expect_panic(result, "send to a finished rank must fail the run");
+    assert!(msg.contains("already finished"), "unexpected message: {msg}");
+}
+
+#[test]
+fn event_engine_rank_panics_propagate_with_original_payload() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        Cluster::new(4, CostModel::free()).with_engine(Engine::Event).run(|comm| {
+            if comm.rank() == 2 {
+                panic!("injected event-engine failure");
+            }
+            let _: Vec<f32> = comm.recv(2, 0); // blocks forever; must cascade
+        })
+    }));
+    let msg = expect_panic(result, "a rank panic must fail the run");
+    assert!(msg.contains("injected event-engine failure"), "wrong payload surfaced: {msg}");
+}
+
+#[test]
+fn event_engine_serves_chaos_wall_holds_instantly() {
+    // The plan demands a 5 s wall-clock hold. The thread engine would sleep;
+    // the event engine charges the virtual pause and moves on.
+    let start = Instant::now();
+    let report = Cluster::new(2, CostModel::free())
+        .with_engine(Engine::Event)
+        .with_chaos(ChaosPlan::new(0).pause(0, 0.0, 0.4).with_wall_hold(5.0))
+        .run(|comm| {
+            if comm.rank() == 0 {
+                comm.compute(0.1);
+                comm.send(1, 0, vec![1.0f32; 4]);
+            } else {
+                let v: Vec<f32> = comm.recv(0, 0);
+                assert_eq!(v.len(), 4);
+            }
+            comm.now()
+        });
+    assert!((report.results[0] - 0.5).abs() < 1e-12, "{}", report.results[0]);
+    assert!(
+        start.elapsed() < Duration::from_secs(4),
+        "event engine must not serve wall holds (took {:?})",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn event_engine_scales_to_many_ranks_with_small_stacks() {
+    // A quick sanity run well above thread-engine comfort on small machines:
+    // 256 ranks, 1 MiB stacks, a ring exchange plus a barrier.
+    let p = 256;
+    let report = Cluster::new(p, CostModel::aries())
+        .with_engine(Engine::Event)
+        .with_stack_bytes(1 << 20)
+        .run(|comm| {
+            let right = (comm.rank() + 1) % comm.size();
+            let left = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(right, 0, vec![comm.rank() as f32; 32]);
+            let got: Vec<f32> = comm.recv(left, 0);
+            comm.barrier();
+            got[0] as usize
+        });
+    let want: Vec<usize> = (0..p).map(|r| (r + p - 1) % p).collect();
+    assert_eq!(report.results, want);
+    assert_eq!(report.ledger.total_elements(), (p * 32) as u64);
+}
+
+/// Unwrap a `catch_unwind` result that must be a panic, as a string message.
+fn expect_panic<T>(result: Result<T, Box<dyn std::any::Any + Send>>, why: &str) -> String {
+    match result {
+        Ok(_) => panic!("{why}"),
+        Err(payload) => {
+            if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                panic!("panic payload was not a string");
+            }
+        }
+    }
+}

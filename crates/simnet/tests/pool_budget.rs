@@ -1,0 +1,137 @@
+//! Tracking-allocator audit for the cluster-wide idle-pool byte budget.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; a thread-local
+//! flag arms the counter so only allocations made by the arming thread are
+//! charged. Each rank body arms the counter on its *own* thread, so the audit
+//! measures exactly the `take_f32`/`recycle_f32` hot path regardless of which
+//! execution engine is scheduling the rank.
+//!
+//! Three claims, one per phase:
+//! 1. with budget headroom, the steady-state take/recycle cycle is
+//!    allocation-free (buffers revolve through the free-list);
+//! 2. with a zero budget, *every* recycle is rejected and every take
+//!    allocates fresh — the cap really does govern retention;
+//! 3. a tight budget retains idle bytes only up to the cap, and taking a
+//!    buffer back out returns its bytes to the budget.
+//!
+//! This file must stay a single-test binary: a sibling test on another thread
+//! would not be charged, but keeping the binary minimal keeps the audit
+//! airtight.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use simnet::{Cluster, CostModel};
+
+struct CountingAlloc;
+
+thread_local! {
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+    static ALLOCS: Cell<usize> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ARMED.with(|armed| {
+            if armed.get() {
+                ALLOCS.with(|c| c.set(c.get() + 1));
+            }
+        });
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ARMED.with(|armed| {
+            if armed.get() {
+                ALLOCS.with(|c| c.set(c.get() + 1));
+            }
+        });
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const CAP: usize = 4096;
+const ITERS: usize = 50;
+
+/// Arm the counter, run `f`, disarm, and return how many allocations `f` made
+/// on this thread.
+fn counted<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    ARMED.with(|a| a.set(false));
+    ALLOCS.with(|c| c.set(0));
+    ARMED.with(|a| a.set(true));
+    let r = f();
+    ARMED.with(|a| a.set(false));
+    (ALLOCS.with(|c| c.get()), r)
+}
+
+#[test]
+fn pool_budget_governs_retention_and_steady_state_is_allocation_free() {
+    // Phase 1: ample budget (the 64 MiB default dwarfs one 16 KiB buffer).
+    // After one warm-up revolution the take/recycle cycle must never touch
+    // the allocator: the budget bookkeeping is two atomics, not a heap op.
+    let report = Cluster::new(1, CostModel::free()).run(|comm| {
+        let warm = comm.take_f32(CAP);
+        comm.recycle_f32(warm); // grows the free-list vec while unarmed
+        let (allocs, _) = counted(|| {
+            for i in 0..ITERS {
+                let mut buf = comm.take_f32(CAP);
+                buf.push(i as f32); // within capacity — must not realloc
+                comm.recycle_f32(buf);
+            }
+        });
+        (allocs, comm.pooled_bytes())
+    });
+    let (allocs, pooled) = report.results[0];
+    assert_eq!(allocs, 0, "steady-state take/recycle made {allocs} heap allocations");
+    assert_eq!(pooled, CAP * 4, "exactly one warm buffer should sit idle");
+
+    // Phase 2: zero budget — recycling must reject every buffer, so every
+    // take allocates fresh and nothing is ever retained.
+    let report = Cluster::new(1, CostModel::free()).with_pool_budget(0).run(|comm| {
+        let (allocs, _) = counted(|| {
+            for _ in 0..ITERS {
+                let buf = comm.take_f32(CAP);
+                comm.recycle_f32(buf); // dropped: no budget to hold it
+            }
+        });
+        (allocs, comm.pooled_bytes())
+    });
+    let (allocs, pooled) = report.results[0];
+    assert!(allocs >= ITERS, "zero budget must force an allocation per take (saw {allocs})");
+    assert_eq!(pooled, 0, "zero budget must retain nothing");
+
+    // Phase 3: a budget of exactly two buffers. Recycling three retains two;
+    // taking one back releases its bytes so one more recycle fits again.
+    let budget = 2 * CAP * 4;
+    let report = Cluster::new(1, CostModel::free()).with_pool_budget(budget).run(|comm| {
+        let a = comm.take_f32(CAP);
+        let b = comm.take_f32(CAP);
+        let c = comm.take_f32(CAP);
+        let caps = [a.capacity(), b.capacity(), c.capacity()];
+        comm.recycle_f32(a);
+        comm.recycle_f32(b);
+        let after_two = comm.pooled_bytes();
+        comm.recycle_f32(c); // over budget: dropped
+        let after_three = comm.pooled_bytes();
+        let back = comm.take_f32(CAP); // frees one slot in the budget
+        let after_take = comm.pooled_bytes();
+        comm.recycle_f32(back); // fits again
+        let after_refill = comm.pooled_bytes();
+        (caps, after_two, after_three, after_take, after_refill)
+    });
+    let (caps, after_two, after_three, after_take, after_refill) = report.results[0];
+    let unit = caps[0] * 4;
+    assert!(caps.iter().all(|&c| c == caps[0]), "equal-cap buffers expected: {caps:?}");
+    assert_eq!(after_two, 2 * unit, "two buffers fit the budget");
+    assert_eq!(after_three, 2 * unit, "the third must be dropped, not retained");
+    assert!(after_three <= budget, "idle bytes exceeded the budget");
+    assert_eq!(after_take, unit, "taking a buffer returns its bytes to the budget");
+    assert_eq!(after_refill, 2 * unit, "freed budget must be reusable");
+}

@@ -15,12 +15,18 @@
 # - chaos runs a tiny P=4 robustness sweep and fails the script if any
 #   perturbed cell beats its clean baseline (chaos must never help) or if a
 #   repeated chaos run is not bit-identical.
+# - scale checks thread/event engine bit-parity at P=32, then fails the script
+#   if the event engine cannot run Ok-Topk at P=1024 inside its wall/memory
+#   budget, or if the thread engine *can* keep within 1.25x of the event
+#   engine's wall there (the virtual-time scheduler must be what buys P>=1024).
 #
 # Quick numbers go to target/*-gate.json so they never overwrite the checked-in
-# full-run BENCH_PR6.json / BENCH_PR4.json / BENCH_PR5.json; regenerate those with
+# full-run BENCH_PR6.json / BENCH_PR4.json / BENCH_PR5.json / BENCH_PR7.json;
+# regenerate those with
 #   cargo run --release -p okbench --bin hotpath
 #   cargo run --release -p okbench --bin msgpath
 #   cargo run --release -p okbench --bin chaos
+#   cargo run --release -p okbench --bin scale
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,6 +48,12 @@ echo "== tests (forced-scalar: OKTOPK_SIMD=off) =="
 # that path stays green, not just compiled.
 OKTOPK_SIMD=off cargo test -q -p sparse -p dnn -p oktopk
 
+echo "== tests (event engine: SIMNET_ENGINE=event) =="
+# The discrete-event engine promises bit-identical behaviour to the thread
+# engine; re-run every simnet-driven suite with the event engine as the
+# default so the whole stack exercises the parked-continuation path.
+SIMNET_ENGINE=event cargo test -q --workspace
+
 echo "== hot-path bench (quick, gated) =="
 cargo run --release -p okbench --bin hotpath -- --quick --gate --out target/hotpath-gate.json
 
@@ -50,5 +62,8 @@ cargo run --release -p okbench --bin msgpath -- --quick --gate --out target/msgp
 
 echo "== chaos robustness smoke (P=4, gated) =="
 cargo run --release -p okbench --bin chaos -- --gate --out target/chaos-gate.json
+
+echo "== scale sweep smoke (P=1024, gated) =="
+cargo run --release -p okbench --bin scale -- --gate --out target/scale-gate.json
 
 echo "OK: all gates passed"
