@@ -118,11 +118,10 @@ fn sweep(scheme: Scheme, p: usize) -> Curve {
     Curve { scheme, p, clean_makespan: clean, straggler, jitter }
 }
 
-fn write_json(path: &str, quick: bool, sizes: &[usize], curves: &[Curve]) {
+fn write_json(path: &str, header: &okbench::Header, sizes: &[usize], curves: &[Curve]) {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"bench\": \"chaos\",\n");
-    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&header.json_fields());
     out.push_str(&format!("  \"n\": {N},\n"));
     out.push_str(&format!("  \"density\": {DENSITY},\n"));
     out.push_str(&format!("  \"iters\": {ITERS},\n"));
@@ -166,6 +165,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let run_gate = args.iter().any(|a| a == "--gate");
+    let header = okbench::Header::begin("chaos", quick || run_gate);
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -213,7 +213,7 @@ fn main() {
         }
     }
 
-    write_json(&out_path, quick || run_gate, sizes, &curves);
+    write_json(&out_path, &header, sizes, &curves);
     eprintln!("wrote {out_path}");
 
     if run_gate {

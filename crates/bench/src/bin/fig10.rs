@@ -11,6 +11,7 @@ use okbench::{iters, weak_scaling_panel};
 use train::{OptimizerKind, Scheme, TrainConfig};
 
 fn main() {
+    okbench::Header::begin("fig10", !okbench::full_scale()).print_text();
     let mut cfg = TrainConfig::new(Scheme::Dense, 0.02);
     cfg.iters = iters(80, 200);
     cfg.local_batch = 2;

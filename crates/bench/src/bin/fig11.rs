@@ -12,6 +12,7 @@ use okbench::{convergence_panel, iters};
 use train::{OptimizerKind, Scheme, TrainConfig};
 
 fn main() {
+    okbench::Header::begin("fig11", !okbench::full_scale()).print_text();
     let mut cfg = TrainConfig::new(Scheme::Dense, 0.02);
     cfg.iters = iters(400, 1000);
     cfg.local_batch = 2;

@@ -12,6 +12,7 @@ use okbench::{full_scale, iters, weak_scaling_panel};
 use train::{OptimizerKind, Scheme, TrainConfig};
 
 fn main() {
+    okbench::Header::begin("fig12", !okbench::full_scale()).print_text();
     let mut cfg = TrainConfig::new(Scheme::Dense, 0.01);
     cfg.iters = iters(112, 240);
     cfg.local_batch = 1;

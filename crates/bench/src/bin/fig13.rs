@@ -12,6 +12,7 @@ use okbench::{convergence_panel, iters};
 use train::{OptimizerKind, Scheme, TrainConfig};
 
 fn main() {
+    okbench::Header::begin("fig13", !okbench::full_scale()).print_text();
     let mut cfg = TrainConfig::new(Scheme::DenseOvlp, 0.01);
     cfg.iters = iters(1200, 4000);
     cfg.local_batch = 2;

@@ -116,6 +116,7 @@ fn snapshot_iteration(total: usize, tau_prime: usize) -> usize {
 }
 
 fn main() {
+    okbench::Header::begin("fig4", !okbench::full_scale()).print_text();
     println!("Figure 4 — gradient value distributions and threshold predictions");
 
     // VGG on synthetic images, density 2%, τ′ = 32; snapshot 26 iterations after a

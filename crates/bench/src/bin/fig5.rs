@@ -25,6 +25,7 @@ fn print_xi(model: &str, density: f64, p: usize, series: &[(usize, f64)]) {
 }
 
 fn main() {
+    okbench::Header::begin("fig5", !okbench::full_scale()).print_text();
     println!("Figure 5 — empirical xi over training (Assumption 1 validation)");
     let p = 4;
     let total = iters(48, 160);

@@ -107,6 +107,7 @@ where
 }
 
 fn main() {
+    okbench::Header::begin("fig6", !okbench::full_scale()).print_text();
     println!("Figure 6 — local/global top-k selection counts over training");
 
     {

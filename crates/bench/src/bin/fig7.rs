@@ -44,6 +44,7 @@ fn clustered_accs(p: usize, n: usize, seed: u64) -> Vec<Vec<f32>> {
 }
 
 fn main() {
+    okbench::Header::begin("fig7", !okbench::full_scale()).print_text();
     let cost = CostProfile::paper_calibrated();
     let n: usize = 1 << 16;
     let density = 0.01;

@@ -11,6 +11,7 @@ use okbench::{convergence_panel, iters};
 use train::{OptimizerKind, Scheme, TrainConfig};
 
 fn main() {
+    okbench::Header::begin("fig9", !okbench::full_scale()).print_text();
     let mut cfg = TrainConfig::new(Scheme::Dense, 0.02);
     cfg.iters = iters(300, 800);
     cfg.local_batch = 4;

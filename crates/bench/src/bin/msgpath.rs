@@ -123,12 +123,11 @@ impl Row {
     }
 }
 
-fn write_json(path: &str, quick: bool, msg_elems: usize, bucket: usize, rows: &[Row]) {
+fn write_json(path: &str, header: &okbench::Header, msg_elems: usize, bucket: usize, rows: &[Row]) {
     let bytes = (msg_elems * 4) as f64;
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"bench\": \"msgpath\",\n");
-    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&header.json_fields());
     out.push_str(&format!("  \"msg_elems\": {msg_elems},\n"));
     out.push_str(&format!("  \"msg_bytes\": {},\n", msg_elems * 4));
     out.push_str(&format!("  \"bucket\": {bucket},\n"));
@@ -157,6 +156,7 @@ fn write_json(path: &str, quick: bool, msg_elems: usize, bucket: usize, rows: &[
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let header = okbench::Header::begin("msgpath", quick);
     let run_gate = args.iter().any(|a| a == "--gate");
     let out_path = args
         .iter()
@@ -193,7 +193,7 @@ fn main() {
         rows.push(row);
     }
 
-    write_json(&out_path, quick, msg_elems, bucket, &rows);
+    write_json(&out_path, &header, msg_elems, bucket, &rows);
     eprintln!("wrote {out_path}");
 
     if run_gate {

@@ -147,7 +147,7 @@ fn engine_name(e: Engine) -> &'static str {
 #[allow(clippy::too_many_arguments)]
 fn write_json(
     path: &str,
-    quick: bool,
+    header: &okbench::Header,
     sizes: &[usize],
     rows: &[Row],
     parity_ok: bool,
@@ -156,8 +156,7 @@ fn write_json(
 ) {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"bench\": \"scale\",\n");
-    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&header.json_fields());
     out.push_str(&format!("  \"n\": {N},\n"));
     out.push_str(&format!("  \"density\": {DENSITY},\n"));
     out.push_str(&format!("  \"iters\": {ITERS},\n"));
@@ -280,6 +279,7 @@ fn main() {
 
     let quick = args.iter().any(|a| a == "--quick");
     let run_gate = args.iter().any(|a| a == "--gate");
+    let header = okbench::Header::begin("scale", quick || run_gate);
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -390,15 +390,7 @@ fn main() {
         });
     }
 
-    write_json(
-        &out_path,
-        quick || run_gate,
-        sizes,
-        &rows,
-        parity_ok,
-        &head_to_head,
-        probe.as_ref(),
-    );
+    write_json(&out_path, &header, sizes, &rows, parity_ok, &head_to_head, probe.as_ref());
     eprintln!("wrote {out_path}");
 
     if !failures.is_empty() {

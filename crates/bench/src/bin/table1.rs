@@ -45,6 +45,7 @@ fn measure(p: usize, f: impl Fn(&mut simnet::Comm) + Send + Sync) -> Row {
 }
 
 fn main() {
+    okbench::Header::begin("table1", !okbench::full_scale()).print_text();
     let n: usize = if full_scale() { 1 << 20 } else { 1 << 17 };
     let k = n / 100; // density 1%
     let ps: Vec<usize> =

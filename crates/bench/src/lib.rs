@@ -65,6 +65,84 @@ pub fn print_series(label: &str, values: &[f64]) {
     println!();
 }
 
+/// Standard header shared by every `BENCH_*.json` harness and the text-mode
+/// figure/table harnesses: host shape (cores, SIMD capabilities), the
+/// simulation engine in effect, wall time, peak RSS, and a compact snapshot
+/// of the process-global observability registry. One implementation so the
+/// files stay mechanically comparable across PRs and hosts.
+pub struct Header {
+    bench: &'static str,
+    quick: bool,
+    start: std::time::Instant,
+}
+
+impl Header {
+    /// Start the harness clock. Call once at the top of `main`.
+    pub fn begin(bench: &'static str, quick: bool) -> Self {
+        Self { bench, quick, start: std::time::Instant::now() }
+    }
+
+    /// Peak resident set size of this process, in KiB (Linux `VmHWM`; 0 where
+    /// `/proc` is unavailable).
+    pub fn peak_rss_kb() -> u64 {
+        let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+        status
+            .lines()
+            .find(|l| l.starts_with("VmHWM:"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    }
+
+    /// The engine harness runs default to (`SIMNET_ENGINE`, else thread).
+    pub fn engine_name() -> &'static str {
+        match simnet::Engine::from_env() {
+            simnet::Engine::Thread => "thread",
+            simnet::Engine::Event => "event",
+        }
+    }
+
+    /// The standard JSON field block, one `"key": value,` line per field,
+    /// indented two spaces — splice at the top of a `BENCH_*.json` object.
+    /// Wall time and RSS are read now, so call this when measurement is done.
+    pub fn json_fields(&self) -> String {
+        let caps = sparse::simd::caps();
+        let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let mut out = String::new();
+        out.push_str(&format!("  \"bench\": \"{}\",\n", self.bench));
+        out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+        out.push_str(&format!("  \"simd_isa\": \"{}\",\n", caps.isa));
+        out.push_str(&format!("  \"simd_lanes\": {},\n", caps.lanes.width()));
+        out.push_str(&format!("  \"simd_compiled\": {},\n", caps.compiled));
+        out.push_str(&format!("  \"simd_forced_scalar\": {},\n", caps.forced_scalar));
+        out.push_str(&format!("  \"engine\": \"{}\",\n", Self::engine_name()));
+        out.push_str(&format!("  \"wall_secs\": {:.3},\n", self.start.elapsed().as_secs_f64()));
+        out.push_str(&format!("  \"peak_rss_kb\": {},\n", Self::peak_rss_kb()));
+        out.push_str(&format!("  \"obs_enabled\": {},\n", obs::enabled()));
+        out.push_str(&format!("  \"obs\": {},\n", obs::global().snapshot().to_json()));
+        out
+    }
+
+    /// One-line text header for the figure/table harnesses that print tables
+    /// instead of JSON.
+    pub fn print_text(&self) {
+        let caps = sparse::simd::caps();
+        println!(
+            "[{}] engine={} simd={}x{} cores={} quick={} obs={}",
+            self.bench,
+            Self::engine_name(),
+            caps.isa,
+            caps.lanes.width(),
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            self.quick,
+            if obs::enabled() { "on" } else { "off" },
+        );
+    }
+}
+
+pub mod obsdump;
+
 use dnn::Model;
 use train::{run_data_parallel, RunResult};
 
@@ -93,13 +171,49 @@ where
         for &scheme in schemes {
             let mut cfg = *base;
             cfg.scheme = scheme;
+            // One OS thread per rank stops being viable well before the weak-
+            // scaling sweeps top out; above 64 ranks default to the event
+            // engine (bit-identical results, bounded workers) unless the
+            // caller pinned an engine explicitly.
+            if cfg.engine.is_none() && p > 64 {
+                cfg.engine = Some(simnet::Engine::Event);
+            }
             let res = run_data_parallel(p, &cfg, &make_model, &make_batch, &[]);
             let (c, s, m) = res.mean_breakdown(warmup);
             print_breakdown_row(scheme, c, s, m);
+            if let Some(line) = obs_summary(&res.metrics) {
+                println!("             {line}");
+            }
             out.push((p, scheme, c + s + m));
         }
     }
     out
+}
+
+/// Compact one-line observability summary of a run's metrics snapshot, or
+/// `None` when the snapshot is empty (observability off).
+pub fn obs_summary(metrics: &obs::MetricsSnapshot) -> Option<String> {
+    use obs::MetricValue;
+    if metrics.is_empty() {
+        return None;
+    }
+    let tx_mib = match metrics.get("sim.tx_bytes") {
+        Some(MetricValue::PerRankU64(v)) => v.iter().sum::<u64>() as f64 / (1 << 20) as f64,
+        _ => 0.0,
+    };
+    let (wait_max, wait_sum) = match metrics.get("sim.recv_wait_vsec") {
+        Some(MetricValue::PerRankF64(v)) => {
+            (v.iter().cloned().fold(0.0f64, f64::max), v.iter().sum::<f64>())
+        }
+        _ => (0.0, 0.0),
+    };
+    let msgs = match metrics.get("sim.msg_elems") {
+        Some(MetricValue::Histogram { count, .. }) => *count,
+        _ => 0,
+    };
+    Some(format!(
+        "obs: {msgs} msgs, {tx_mib:.2} MiB sent, recv-wait max {wait_max:.4}s / total {wait_sum:.4}s"
+    ))
 }
 
 /// Convergence panel shared by Figs. 9, 11 and 13: run each scheme to completion

@@ -1,0 +1,60 @@
+//! Profile a small Ok-Topk training job: run with tracing, spans and
+//! scheduler logging on, then emit a Chrome/Perfetto `trace_events` JSON and
+//! a text metrics summary. The logic lives in the library so the schema test
+//! can run it without shelling out to the binary.
+
+use simnet::{export_chrome, Engine};
+use train::{run_data_parallel, OptimizerKind, RunResult, Scheme, TrainConfig};
+
+/// Everything one profiling run produces.
+pub struct Dump {
+    /// The Chrome `trace_events` document (load at `ui.perfetto.dev`).
+    pub trace_json: String,
+    /// Human-readable metrics table.
+    pub summary: String,
+    /// The raw run, for further inspection.
+    pub result: RunResult,
+}
+
+/// Run a small Ok-Topk training job (P ranks, a few iterations) with full
+/// profiling and return the exported artifacts. Observability is forced on
+/// for the run via [`obs::set_enabled`], honoring an explicit
+/// `OKTOPK_OBS=off` would defeat the point of a profiling command.
+pub fn run(p: usize, iters: usize, engine: Engine) -> Dump {
+    use dnn::data::SyntheticImages;
+    use dnn::models::VggLite;
+
+    obs::set_enabled(true);
+    let mut cfg = TrainConfig::new(Scheme::OkTopk, 0.05);
+    cfg.iters = iters;
+    cfg.local_batch = 2;
+    cfg.tau = 4;
+    cfg.tau_prime = 2;
+    cfg.optimizer = OptimizerKind::Sgd { lr: 0.05 };
+    cfg.engine = Some(engine);
+    cfg.profile = true;
+
+    let data = SyntheticImages::with_shape(1, 4, 3, 8, 0.5);
+    let local_batch = cfg.local_batch;
+    let result = run_data_parallel(
+        p,
+        &cfg,
+        || VggLite::with_width(7, 4, 8, 16, 4, 8),
+        move |it, r, w| data.train_batch(it, r, w, local_batch),
+        &[],
+    );
+
+    let windows: &[(f64, f64)] = &[];
+    let trace_json = export_chrome(&result.traces, &result.spans, &result.sched, windows);
+    let mut summary = String::new();
+    summary.push_str(&format!(
+        "obsdump: Ok-Topk P={p} iters={iters} engine={} makespan={:.4}s\n\n",
+        match engine {
+            Engine::Thread => "thread",
+            Engine::Event => "event",
+        },
+        result.makespan
+    ));
+    summary.push_str(&result.metrics.render_table());
+    Dump { trace_json, summary, result }
+}

@@ -36,6 +36,34 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex, OnceLock};
 
+/// Pool observability, Host class: dispatch and help-drain behavior depends on
+/// OS scheduling, so none of this is expected to be reproducible — it answers
+/// "is the pool actually parallel, or is the caller doing all the work?".
+/// Handles are registered once against the process-global registry; recording
+/// no-ops (one relaxed atomic load) when the `OKTOPK_OBS` kill switch is off.
+struct PoolMetrics {
+    dispatches: obs::Counter,
+    jobs: obs::Counter,
+    helped: obs::Counter,
+    worker_park: obs::Counter,
+    worker_unpark: obs::Counter,
+}
+
+fn metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = obs::global();
+        use obs::Class::Host;
+        PoolMetrics {
+            dispatches: reg.counter("okpar.dispatches", Host),
+            jobs: reg.counter("okpar.jobs", Host),
+            helped: reg.counter("okpar.helped", Host),
+            worker_park: reg.counter("okpar.worker_park", Host),
+            worker_unpark: reg.counter("okpar.worker_unpark", Host),
+        }
+    })
+}
+
 /// One chunk of one dispatch. Pointers into the dispatching caller's stack;
 /// valid until that caller's latch drains (see module docs).
 struct Job {
@@ -157,6 +185,7 @@ fn execute(job: Job) {
 }
 
 fn worker_main(pool: &'static Pool) {
+    let m = metrics();
     loop {
         let job = {
             let mut q = pool.queue.lock().expect("okpar pool poisoned");
@@ -164,7 +193,9 @@ fn worker_main(pool: &'static Pool) {
                 if let Some(job) = q.pop_front() {
                     break job;
                 }
+                m.worker_park.inc();
                 q = pool.work_ready.wait(q).expect("okpar pool poisoned");
+                m.worker_unpark.inc();
             }
         };
         execute(job);
@@ -186,6 +217,9 @@ pub fn run_tasks(tasks: usize, f: &(dyn Fn(usize) + Sync)) {
         _ => {}
     }
     crate::warn_if_env_drifted();
+    let m = metrics();
+    m.dispatches.inc();
+    m.jobs.add(tasks as u64 - 1);
     let pool = global();
     ensure_workers(pool, tasks - 1);
     let latch = Latch::new(tasks - 1);
@@ -217,7 +251,10 @@ pub fn run_tasks(tasks: usize, f: &(dyn Fn(usize) + Sync)) {
         }
         let job = pool.queue.lock().expect("okpar pool poisoned").pop_front();
         match job {
-            Some(job) => execute(job),
+            Some(job) => {
+                m.helped.inc();
+                execute(job);
+            }
             None => break latch.wait(),
         }
     };

@@ -1,9 +1,9 @@
 //! Cluster runner: executes one closure per rank and collects results, clocks
 //! and traffic — on either execution engine (see [`Engine`]).
 
-use crate::comm::{Backend, BarrierState, Comm, PoolBudget};
+use crate::comm::{Backend, BarrierState, Comm, PoolBudget, SimMetrics};
 use crate::cost::CostModel;
-use crate::engine::{default_workers, Cascade, Engine, EventCore};
+use crate::engine::{default_workers, Cascade, Engine, EngineMetrics, EventCore, SchedEvent};
 use crate::envelope::Envelope;
 use crate::ledger::{Ledger, LedgerSnapshot};
 use chaos::{ChaosPlan, ChaosView, CompiledChaos};
@@ -45,6 +45,11 @@ pub struct Cluster {
     /// Thread-engine watchdog poll interval; `None` defers to
     /// `SIMNET_WATCHDOG_POLL_MS` (else 50 ms). Unused by the event engine.
     watchdog_poll: Option<Duration>,
+    /// Per-run observability override; `None` defers to [`obs::enabled`]
+    /// (the `OKTOPK_OBS` kill switch / `obs::set_enabled`).
+    obs: Option<bool>,
+    /// Record event-engine scheduler decisions for trace export.
+    sched_trace: bool,
 }
 
 /// Everything a simulation run produces.
@@ -55,6 +60,12 @@ pub struct SimReport<T> {
     pub times: Vec<f64>,
     /// Traffic accounting for the whole run.
     pub ledger: LedgerSnapshot,
+    /// Metrics recorded during the run (empty values when observability is
+    /// disabled). Virtual-class entries are bit-identical across engines.
+    pub metrics: obs::MetricsSnapshot,
+    /// Event-engine scheduler decisions; non-empty only when
+    /// [`Cluster::with_sched_trace`] was on and the run used [`Engine::Event`].
+    pub sched: Vec<SchedEvent>,
 }
 
 impl<T> SimReport<T> {
@@ -79,6 +90,8 @@ impl Cluster {
             workers: None,
             pool_budget_bytes: None,
             watchdog_poll: None,
+            obs: None,
+            sched_trace: false,
         }
     }
 
@@ -150,6 +163,24 @@ impl Cluster {
         self
     }
 
+    /// Force observability on or off for this cluster's runs, overriding the
+    /// `OKTOPK_OBS` kill switch and any `obs::set_enabled` override. Tests
+    /// that must observe metrics regardless of the environment force `true`;
+    /// overhead benchmarks compare `true` vs `false` in one process without
+    /// racing on global state.
+    pub fn with_obs(mut self, on: bool) -> Self {
+        self.obs = Some(on);
+        self
+    }
+
+    /// Record the event engine's scheduler decisions (token grants, parks,
+    /// finishes) for export to the Chrome-trace scheduler track. No effect on
+    /// the thread engine, which has no scheduler of its own.
+    pub fn with_sched_trace(mut self, on: bool) -> Self {
+        self.sched_trace = on;
+        self
+    }
+
     /// Number of ranks.
     pub fn size(&self) -> usize {
         self.size
@@ -185,9 +216,13 @@ impl Cluster {
         let budget = Arc::new(PoolBudget::new(
             self.pool_budget_bytes.unwrap_or_else(crate::comm::default_pool_budget_bytes),
         ));
-        let (slots, panics, fault) = match self.engine {
-            Engine::Thread => self.run_threaded(&f, &ledger, compiled, budget),
-            Engine::Event => self.run_event(&f, &ledger, compiled, budget),
+        let obs_on = self.obs.unwrap_or_else(obs::enabled);
+        let registry = Arc::new(obs::Registry::with_ranks(self.size, obs_on));
+        let metrics = SimMetrics::new(&registry);
+        let wall_start = std::time::Instant::now();
+        let (slots, panics, fault, sched) = match self.engine {
+            Engine::Thread => self.run_threaded(&f, &ledger, compiled, budget, metrics),
+            Engine::Event => self.run_event(&f, &ledger, compiled, budget, metrics, &registry),
         };
         if !panics.is_empty() {
             resolve_panics(panics, fault);
@@ -199,7 +234,19 @@ impl Cluster {
             results.push(r);
             times.push(t);
         }
-        SimReport { results, times, ledger: ledger.snapshot() }
+        // Host-class wall time of the whole run: the simulator-overhead side
+        // of the modeled-vs-host split the spans expose per phase.
+        registry
+            .fcounter("sim.host_wall_ns", obs::Class::Host)
+            .add(wall_start.elapsed().as_nanos() as f64);
+        registry.counter("sim.runs", obs::Class::Host).inc();
+        let metrics = registry.snapshot();
+        if obs_on {
+            // Fold the finished run into the process-global registry so bench
+            // headers can embed one cumulative snapshot.
+            obs::global().absorb(&metrics);
+        }
+        SimReport { results, times, ledger: ledger.snapshot(), metrics, sched }
     }
 
     /// Thread engine: one kernel-scheduled OS thread per rank, channels for
@@ -213,7 +260,8 @@ impl Cluster {
         ledger: &Arc<Ledger>,
         compiled: Option<Arc<CompiledChaos>>,
         budget: Arc<PoolBudget>,
-    ) -> (Vec<Option<(T, f64)>>, Vec<Box<dyn Any + Send>>, Option<String>)
+        metrics: SimMetrics,
+    ) -> RunOut<T>
     where
         T: Send,
         F: Fn(&mut Comm) -> T + Send + Sync,
@@ -236,6 +284,7 @@ impl Cluster {
                 let ledger = Arc::clone(ledger);
                 let barrier = Arc::clone(&barrier);
                 let budget = Arc::clone(&budget);
+                let metrics = metrics.clone();
                 let poisoned = Arc::clone(&poisoned);
                 let view = compiled.as_ref().map(|c| ChaosView::new(Arc::clone(c), rank));
                 let handle = std::thread::Builder::new()
@@ -258,6 +307,7 @@ impl Cluster {
                                 },
                                 budget,
                                 view,
+                                metrics,
                             );
                             let r = f(&mut comm);
                             (r, comm.local_finish_time())
@@ -277,7 +327,7 @@ impl Cluster {
                 }
             }
         });
-        (slots, panics, None)
+        (slots, panics, None, Vec::new())
     }
 
     /// Discrete-event engine: one parked continuation per rank, run tokens
@@ -290,13 +340,20 @@ impl Cluster {
         ledger: &Arc<Ledger>,
         compiled: Option<Arc<CompiledChaos>>,
         budget: Arc<PoolBudget>,
-    ) -> (Vec<Option<(T, f64)>>, Vec<Box<dyn Any + Send>>, Option<String>)
+        metrics: SimMetrics,
+        registry: &obs::Registry,
+    ) -> RunOut<T>
     where
         T: Send,
         F: Fn(&mut Comm) -> T + Send + Sync,
     {
         let workers = self.workers.unwrap_or_else(default_workers).max(1);
-        let core = Arc::new(EventCore::new(self.size, workers));
+        let core = Arc::new(EventCore::new(
+            self.size,
+            workers,
+            Some(EngineMetrics::new(registry)),
+            self.sched_trace,
+        ));
 
         let mut slots: Vec<Option<(T, f64)>> = Vec::with_capacity(self.size);
         slots.resize_with(self.size, || None);
@@ -308,6 +365,7 @@ impl Cluster {
                 let core = Arc::clone(&core);
                 let ledger = Arc::clone(ledger);
                 let budget = Arc::clone(&budget);
+                let metrics = metrics.clone();
                 let view = compiled.as_ref().map(|c| ChaosView::new(Arc::clone(c), rank));
                 let handle = std::thread::Builder::new()
                     .name(format!("rank-{rank}"))
@@ -323,6 +381,7 @@ impl Cluster {
                                 Backend::Event { core: Arc::clone(&core) },
                                 budget,
                                 view,
+                                metrics,
                             );
                             let r = f(&mut comm);
                             (r, comm.local_finish_time())
@@ -349,9 +408,15 @@ impl Cluster {
             }
         });
         let fault = core.fault_message();
-        (slots, panics, fault)
+        let sched = core.take_sched();
+        (slots, panics, fault, sched)
     }
 }
+
+/// What an engine run hands back to [`Cluster::run`]: per-rank result slots,
+/// panic payloads, the core's fault report (event engine), and the scheduler
+/// event log (event engine with [`Cluster::with_sched_trace`]).
+type RunOut<T> = (Vec<Option<(T, f64)>>, Vec<Box<dyn Any + Send>>, Option<String>, Vec<SchedEvent>);
 
 /// Report a failed run: re-raise the first *originating* panic (in rank
 /// order), never a quiet [`Cascade`] casualty. If every payload is a cascade

@@ -10,12 +10,14 @@
 use crate::cost::{CostModel, WireSize};
 use crate::engine::{cascade, EventCore};
 use crate::envelope::{Envelope, Payload};
-use crate::ledger::Ledger;
+use crate::ledger::{Ledger, PhaseId};
 use crate::request::{RecvHandle, SendHandle};
 use crate::trace::{TraceEvent, TraceKind};
 use chaos::ChaosView;
 use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
+use obs::SpanStack;
 use parking_lot::{Condvar, Mutex};
+use std::borrow::Cow;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
@@ -152,6 +154,74 @@ impl PoolBudget {
     }
 }
 
+/// Largest cluster for which the per-link byte matrix (`sim.link_bytes`,
+/// `P·P` atomic slots) is recorded; beyond it the matrix would dominate the
+/// registry's footprint for sweeps that never look at it.
+const LINK_MATRIX_MAX_RANKS: usize = 128;
+
+/// Pre-resolved metric handles shared by every rank of one run. All handles
+/// are cheap clones of registry-owned atomics; `enabled` mirrors the
+/// registry's flag so recording paths can skip even the argument computation
+/// when observability is off.
+#[derive(Clone)]
+pub(crate) struct SimMetrics {
+    pub(crate) enabled: bool,
+    /// Virtual seconds each rank's clock advanced waiting in `recv`.
+    recv_wait: obs::RankF64,
+    /// Bytes injected (sent) per rank.
+    tx_bytes: obs::RankU64,
+    /// Bytes drained (received) per rank.
+    rx_bytes: obs::RankU64,
+    /// Message body sizes, in elements.
+    msg_elems: obs::Histogram,
+    /// Cluster barrier entries (counted once per rank per barrier).
+    barriers: obs::Counter,
+    /// Chaos perturbations actually applied, by kind.
+    chaos_straggler: obs::Counter,
+    chaos_jitter: obs::Counter,
+    chaos_degrade: obs::Counter,
+    chaos_pause: obs::Counter,
+    /// Row-major `P·P` sent-byte matrix; only for P ≤ [`LINK_MATRIX_MAX_RANKS`].
+    link_bytes: Option<obs::RankU64>,
+    /// Buffer-pool behavior (Host class: reservation outcomes may depend on
+    /// cross-rank interleaving through the shared [`PoolBudget`]).
+    pool_hit: obs::Counter,
+    pool_miss: obs::Counter,
+    pool_drop: obs::Counter,
+    pool_idle_max: obs::Gauge,
+    ranks: usize,
+    /// The run's registry, for layers above simnet (collectives, trainer) to
+    /// register their own instruments via [`Comm::obs`].
+    registry: Arc<obs::Registry>,
+}
+
+impl SimMetrics {
+    pub(crate) fn new(reg: &Arc<obs::Registry>) -> Self {
+        use obs::Class::{Host, Virtual};
+        let ranks = reg.ranks();
+        Self {
+            enabled: reg.enabled(),
+            recv_wait: reg.rank_f64("sim.recv_wait_vsec", Virtual),
+            tx_bytes: reg.slots_u64("sim.tx_bytes", Virtual, ranks),
+            rx_bytes: reg.slots_u64("sim.rx_bytes", Virtual, ranks),
+            msg_elems: reg.histogram("sim.msg_elems", Virtual),
+            barriers: reg.counter("sim.barriers", Virtual),
+            chaos_straggler: reg.counter("chaos.straggler", Virtual),
+            chaos_jitter: reg.counter("chaos.jitter", Virtual),
+            chaos_degrade: reg.counter("chaos.degrade", Virtual),
+            chaos_pause: reg.counter("chaos.pause", Virtual),
+            link_bytes: (ranks <= LINK_MATRIX_MAX_RANKS)
+                .then(|| reg.slots_u64("sim.link_bytes", Virtual, ranks * ranks)),
+            pool_hit: reg.counter("pool.hit", Host),
+            pool_miss: reg.counter("pool.miss", Host),
+            pool_drop: reg.counter("pool.recycle_drop", Host),
+            pool_idle_max: reg.gauge("pool.idle_bytes_max", Host),
+            ranks,
+            registry: Arc::clone(reg),
+        }
+    }
+}
+
 /// Latency charged for a dissemination barrier: `α·⌈log2 P⌉`.
 fn barrier_latency(cost: &CostModel, size: usize) -> f64 {
     if size <= 1 {
@@ -282,13 +352,18 @@ pub struct Comm {
     inj_free: f64,
     /// Time at which this rank's NIC reception port becomes free.
     rcv_free: f64,
-    phase: &'static str,
+    /// Interned id of the current phase label (see [`Ledger::intern`]).
+    phase_id: PhaseId,
     /// When set, messaging carries data but costs nothing and is not logged —
     /// used by instrumentation (e.g. ξ measurement) that must not perturb the
     /// modeled timings or traffic accounting of the algorithm under study.
     free_mode: bool,
     /// Optional per-rank execution trace (see [`crate::trace`]).
     trace: Option<Vec<TraceEvent>>,
+    /// Optional per-rank structured spans (see [`obs::SpanStack`]).
+    spans: Option<SpanStack>,
+    /// Per-run metric handles (no-ops when observability is disabled).
+    metrics: SimMetrics,
     ledger: Arc<Ledger>,
     backend: Backend,
     mailbox: HashMap<(usize, Tag), VecDeque<Envelope>>,
@@ -300,6 +375,7 @@ pub struct Comm {
 }
 
 impl Comm {
+    #[allow(clippy::too_many_arguments)] // crate-internal constructor, one call site per engine
     pub(crate) fn new(
         rank: usize,
         size: usize,
@@ -308,6 +384,7 @@ impl Comm {
         mut backend: Backend,
         pool_budget: Arc<PoolBudget>,
         chaos: Option<ChaosView>,
+        metrics: SimMetrics,
     ) -> Self {
         // A paused peer holds the real channel for up to the plan's wall-hold
         // budget; the thread-engine deadlock watchdog must wait that much
@@ -316,6 +393,7 @@ impl Comm {
         if let Backend::Thread { recv_deadline, .. } = &mut backend {
             *recv_deadline += chaos.as_ref().map(ChaosView::extra_wall_budget).unwrap_or_default();
         }
+        let phase_id = ledger.intern("default");
         Self {
             rank,
             size,
@@ -323,9 +401,11 @@ impl Comm {
             now: 0.0,
             inj_free: 0.0,
             rcv_free: 0.0,
-            phase: "default",
+            phase_id,
             free_mode: false,
             trace: None,
+            spans: None,
+            metrics,
             ledger,
             backend,
             mailbox: HashMap::new(),
@@ -368,8 +448,11 @@ impl Comm {
     }
 
     /// Label subsequent traffic in the ledger (e.g. `"split_reduce"`).
-    pub fn set_phase(&mut self, phase: &'static str) {
-        self.phase = phase;
+    /// Accepts both `&'static str` literals and dynamically built labels
+    /// (`String` / `Cow`); names are interned, so dynamic labels cost one
+    /// allocation per distinct name per run, not per message.
+    pub fn set_phase(&mut self, phase: impl Into<Cow<'static, str>>) {
+        self.phase_id = self.ledger.intern(&phase.into());
     }
 
     /// Start recording this rank's activity (sends, receives, compute, barriers)
@@ -382,6 +465,49 @@ impl Comm {
     /// recording.
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
         self.trace.take().unwrap_or_default()
+    }
+
+    /// Start recording structured spans on this rank (see [`obs::SpanStack`]):
+    /// nested labeled intervals carrying virtual start/end times plus the
+    /// wall-clock cost of the simulating host. Collect with
+    /// [`take_spans`](Self::take_spans).
+    pub fn enable_spans(&mut self) {
+        self.spans = Some(SpanStack::new());
+    }
+
+    /// Open a span named `name` at the current virtual time. A no-op unless
+    /// [`enable_spans`](Self::enable_spans) was called.
+    pub fn span_enter(&mut self, name: impl Into<Cow<'static, str>>) {
+        let now = self.now;
+        if let Some(s) = self.spans.as_mut() {
+            s.enter(name, now);
+        }
+    }
+
+    /// Close the innermost open span at the current virtual time. A no-op
+    /// unless spans are enabled.
+    ///
+    /// # Panics
+    /// Panics if spans are enabled and no span is open.
+    pub fn span_exit(&mut self) {
+        let now = self.now;
+        if let Some(s) = self.spans.as_mut() {
+            s.exit(now);
+        }
+    }
+
+    /// Take all closed spans recorded so far (empty if spans were never
+    /// enabled). Recording continues; open spans stay open.
+    pub fn take_spans(&mut self) -> Vec<obs::SpanEvent> {
+        self.spans.as_mut().map(SpanStack::drain).unwrap_or_default()
+    }
+
+    /// The run's metrics registry. Layers above simnet (collectives, the
+    /// trainer) register their own instruments here; everything lands in the
+    /// same [`crate::SimReport::metrics`] snapshot, subject to the same
+    /// kill switch and the same [`obs::Class::Virtual`] parity guarantee.
+    pub fn obs(&self) -> &obs::Registry {
+        &self.metrics.registry
     }
 
     fn record(&mut self, start: f64, end: f64, kind: TraceKind) {
@@ -412,6 +538,7 @@ impl Comm {
             self.now = resumed;
             self.inj_free = self.inj_free.max(resumed);
             self.rcv_free = self.rcv_free.max(resumed);
+            self.metrics.chaos_pause.inc();
             self.record_tagged(start, resumed, TraceKind::Pause, true);
             if hold > Duration::ZERO {
                 if let Backend::Thread { .. } = self.backend {
@@ -441,6 +568,9 @@ impl Comm {
             None => clean_end,
         };
         self.now = end;
+        if end != clean_end {
+            self.metrics.chaos_straggler.inc();
+        }
         self.record_tagged(start, end, TraceKind::Compute, end != clean_end);
     }
 
@@ -457,12 +587,16 @@ impl Comm {
     pub fn take_f32(&mut self, cap: usize) -> Vec<f32> {
         match self.pool.f32s.pop() {
             Some(mut buf) => {
+                self.metrics.pool_hit.inc();
                 self.pool_budget.release(buf.capacity() * 4);
                 buf.clear();
                 buf.reserve(cap);
                 buf
             }
-            None => Vec::with_capacity(cap),
+            None => {
+                self.metrics.pool_miss.inc();
+                Vec::with_capacity(cap)
+            }
         }
     }
 
@@ -476,6 +610,9 @@ impl Comm {
             && self.pool_budget.try_reserve(buf.capacity() * 4)
         {
             self.pool.f32s.push(buf);
+            self.note_idle_bytes();
+        } else {
+            self.metrics.pool_drop.inc();
         }
     }
 
@@ -483,12 +620,16 @@ impl Comm {
     pub fn take_u32(&mut self, cap: usize) -> Vec<u32> {
         match self.pool.u32s.pop() {
             Some(mut buf) => {
+                self.metrics.pool_hit.inc();
                 self.pool_budget.release(buf.capacity() * 4);
                 buf.clear();
                 buf.reserve(cap);
                 buf
             }
-            None => Vec::with_capacity(cap),
+            None => {
+                self.metrics.pool_miss.inc();
+                Vec::with_capacity(cap)
+            }
         }
     }
 
@@ -500,6 +641,18 @@ impl Comm {
             && self.pool_budget.try_reserve(buf.capacity() * 4)
         {
             self.pool.u32s.push(buf);
+            self.note_idle_bytes();
+        } else {
+            self.metrics.pool_drop.inc();
+        }
+    }
+
+    /// Track the high-water mark of this rank's idle pooled bytes (an
+    /// occupancy signal for the cluster-wide [`PoolBudget`]).
+    fn note_idle_bytes(&mut self) {
+        if self.metrics.enabled {
+            let bytes = self.pooled_bytes() as u64;
+            self.metrics.pool_idle_max.set_max(bytes);
         }
     }
 
@@ -532,12 +685,28 @@ impl Comm {
             let (alpha_eff, beta_eff, perturbed) = match self.chaos.as_mut() {
                 Some(view) => {
                     let p = view.send_perturb(dst, inj_start);
+                    // Classify the applied perturbation by kind for the
+                    // chaos.* counters: latency jitter vs link degradation
+                    // (a draw can carry both; count each once).
+                    if p.extra_latency > 0.0 {
+                        self.metrics.chaos_jitter.inc();
+                    }
+                    if p.alpha_mult != 1.0 || p.beta_mult != 1.0 {
+                        self.metrics.chaos_degrade.inc();
+                    }
                     (alpha * p.alpha_mult + p.extra_latency, beta * p.beta_mult, p.is_perturbed())
                 }
                 None => (alpha, beta, false),
             };
             self.inj_free = inj_start + beta_eff * elems as f64;
-            self.ledger.record(self.rank, self.phase, elems);
+            self.ledger.record(self.rank, self.phase_id, elems);
+            if self.metrics.enabled {
+                self.metrics.tx_bytes.add(self.rank, elems * 4);
+                self.metrics.msg_elems.record(elems);
+                if let Some(links) = &self.metrics.link_bytes {
+                    links.add(self.rank * self.metrics.ranks + dst, elems * 4);
+                }
+            }
             let inj_end = self.inj_free;
             self.record_tagged(inj_start, inj_end, TraceKind::Send { dst, elems }, perturbed);
             (inj_start + alpha_eff, beta_eff, perturbed)
@@ -619,6 +788,12 @@ impl Comm {
         let rcv_start = env.head_arrival.max(self.rcv_free);
         let done = rcv_start + env.beta * env.elems as f64;
         self.rcv_free = done;
+        if self.metrics.enabled {
+            // Virtual seconds this rank's clock jumps forward waiting for the
+            // body to drain — the per-rank recv-wait metric.
+            self.metrics.recv_wait.add(self.rank, (done - self.now).max(0.0));
+            self.metrics.rx_bytes.add(self.rank, env.elems * 4);
+        }
         self.now = self.now.max(done);
         // Clamp the traced pair consistently: a negative head_arrival at t≈0
         // (free-mode sender, zero-α model) must not produce start > end. The
@@ -802,6 +977,7 @@ impl Comm {
     /// pending injection work) plus a dissemination-barrier latency of `α·⌈log2 P⌉`.
     pub fn barrier(&mut self) {
         self.apply_pause();
+        self.metrics.barriers.inc();
         let t_in = self.local_finish_time();
         let t_max = self.barrier_exchange(t_in);
         self.now = t_max + barrier_latency(&self.cost, self.size);

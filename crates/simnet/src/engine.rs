@@ -41,6 +41,57 @@ use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+/// Cap on the optional scheduler event log: a runaway sweep must not hoard
+/// unbounded memory just because scheduler tracing was left on.
+const SCHED_LOG_MAX: usize = 1 << 20;
+
+/// One scheduler decision of the event engine, recorded (only) when
+/// [`crate::Cluster::with_sched_trace`] is on — the profiling signal for the
+/// P ≥ 1024 run-token hand-off investigation. Exported to its own track by
+/// [`crate::trace::export_chrome`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SchedEvent {
+    /// The rank's virtual clock at the decision.
+    pub vclock: f64,
+    /// The rank the decision concerns.
+    pub rank: usize,
+    /// What the scheduler did.
+    pub kind: SchedKind,
+}
+
+/// The kind of a [`SchedEvent`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedKind {
+    /// A run token was granted to the rank.
+    Grant,
+    /// The rank parked in a blocking receive (token released).
+    RecvPark,
+    /// The rank parked at the cluster barrier (token released).
+    BarrierPark,
+    /// The rank's closure returned.
+    Finish,
+}
+
+/// Scheduler metric handles (Host class: token traffic and queue depths are
+/// properties of the simulating host's execution, not of modeled time).
+#[derive(Clone)]
+pub(crate) struct EngineMetrics {
+    token_grants: obs::Counter,
+    parks: obs::Counter,
+    ready_depth_max: obs::Gauge,
+}
+
+impl EngineMetrics {
+    pub(crate) fn new(reg: &obs::Registry) -> Self {
+        use obs::Class::Host;
+        Self {
+            token_grants: reg.counter("engine.token_grants", Host),
+            parks: reg.counter("engine.parks", Host),
+            ready_depth_max: reg.gauge("engine.ready_depth_max", Host),
+        }
+    }
+}
+
 /// Which execution core a [`crate::Cluster`] uses to run rank programs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Engine {
@@ -166,19 +217,39 @@ struct CoreState {
     /// First fault (rank panic or detected deadlock); once set, every rank
     /// that touches the core unwinds with [`Cascade`].
     fault: Option<String>,
+    /// Scheduler decisions, recorded only when tracing is on (bounded by
+    /// [`SCHED_LOG_MAX`]).
+    sched: Vec<SchedEvent>,
+}
+
+impl CoreState {
+    fn log_sched(&mut self, on: bool, vclock: f64, rank: usize, kind: SchedKind) {
+        if on && self.sched.len() < SCHED_LOG_MAX {
+            self.sched.push(SchedEvent { vclock, rank, kind });
+        }
+    }
 }
 
 /// Shared state of the discrete-event engine for one [`crate::Cluster::run`].
 pub(crate) struct EventCore {
     size: usize,
     workers: usize,
+    /// Scheduler metric handles; `None` when the run has no registry wired.
+    metrics: Option<EngineMetrics>,
+    /// Whether scheduler decisions are logged for trace export.
+    sched_trace: bool,
     state: Mutex<CoreState>,
     /// One condvar per rank: each parked continuation waits only on its own.
     cvs: Vec<Condvar>,
 }
 
 impl EventCore {
-    pub(crate) fn new(size: usize, workers: usize) -> Self {
+    pub(crate) fn new(
+        size: usize,
+        workers: usize,
+        metrics: Option<EngineMetrics>,
+        sched_trace: bool,
+    ) -> Self {
         assert!(size >= 1 && workers >= 1);
         let ranks = (0..size)
             .map(|_| RankSlot {
@@ -192,6 +263,8 @@ impl EventCore {
         Self {
             size,
             workers,
+            metrics,
+            sched_trace,
             state: Mutex::new(CoreState {
                 ranks,
                 ready,
@@ -200,6 +273,7 @@ impl EventCore {
                 bar_arrived: 0,
                 bar_max: f64::NEG_INFINITY,
                 fault: None,
+                sched: Vec::new(),
             }),
             cvs: (0..size).map(|_| Condvar::new()).collect(),
         }
@@ -207,13 +281,25 @@ impl EventCore {
 
     /// Grant run tokens to the lowest-clock ready ranks while slots are free.
     fn schedule(&self, st: &mut CoreState) {
+        if let Some(m) = &self.metrics {
+            m.ready_depth_max.set_max(st.ready.len() as u64);
+        }
         while st.running < self.workers {
             let Some(Reverse(key)) = st.ready.pop() else { break };
             debug_assert_eq!(st.ranks[key.rank].status, Status::Ready);
             st.ranks[key.rank].status = Status::Running;
             st.running += 1;
+            if let Some(m) = &self.metrics {
+                m.token_grants.inc();
+            }
+            st.log_sched(self.sched_trace, key.clock, key.rank, SchedKind::Grant);
             self.cvs[key.rank].notify_one();
         }
+    }
+
+    /// Drain the scheduler event log (empty unless tracing was on).
+    pub(crate) fn take_sched(&self) -> Vec<SchedEvent> {
+        std::mem::take(&mut self.state.lock().sched)
     }
 
     /// If nothing can ever run again, record the deadlock fault and wake every
@@ -267,6 +353,10 @@ impl EventCore {
             st.ranks[rank].status = Status::RecvWait { src, tag };
             st.ranks[rank].clock = clock;
             st.running -= 1;
+            if let Some(m) = &self.metrics {
+                m.parks.inc();
+            }
+            st.log_sched(self.sched_trace, clock, rank, SchedKind::RecvPark);
             self.schedule(&mut st);
             self.check_deadlock(&mut st);
             self.wait_runnable(rank, &mut st);
@@ -327,6 +417,10 @@ impl EventCore {
             st.ranks[rank].status = Status::BarrierWait;
             st.ranks[rank].clock = clock;
             st.running -= 1;
+            if let Some(m) = &self.metrics {
+                m.parks.inc();
+            }
+            st.log_sched(self.sched_trace, clock, rank, SchedKind::BarrierPark);
             self.schedule(&mut st);
             self.check_deadlock(&mut st);
             self.wait_runnable(rank, &mut st);
@@ -342,6 +436,8 @@ impl EventCore {
         st.ranks[rank].status = Status::Done;
         st.running -= 1;
         st.finished += 1;
+        let clock = st.ranks[rank].clock;
+        st.log_sched(self.sched_trace, clock, rank, SchedKind::Finish);
         self.schedule(&mut st);
         self.check_deadlock(&mut st);
     }

@@ -3,6 +3,11 @@
 //! The ledger is how Table 1 is *measured* rather than asserted: every point-to-point
 //! message logs its element count under the sender's current phase label, and the
 //! harness compares aggregate volumes against the paper's analytic formulas.
+//!
+//! Phase labels are interned to small integer ids on first use, so the
+//! per-message `record` path never hashes a string and dynamically built
+//! labels (per-bucket, per-layer) cost one allocation for the whole run
+//! instead of leaking `&'static str`s.
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -16,10 +21,17 @@ pub struct PhaseVolume {
     pub elements: u64,
 }
 
+/// Interned phase-label id (index into the ledger's name table).
+pub(crate) type PhaseId = u16;
+
 #[derive(Default)]
 struct Inner {
-    /// (rank, phase) → volume.
-    cells: HashMap<(usize, &'static str), PhaseVolume>,
+    /// Interned phase names, indexed by [`PhaseId`].
+    names: Vec<String>,
+    /// Name → id, for interning.
+    ids: HashMap<String, PhaseId>,
+    /// (rank, phase id) → volume.
+    cells: HashMap<(usize, PhaseId), PhaseVolume>,
 }
 
 /// Shared, thread-safe traffic ledger for one simulation run.
@@ -34,7 +46,19 @@ impl Ledger {
         Self::default()
     }
 
-    pub(crate) fn record(&self, rank: usize, phase: &'static str, elems: u64) {
+    /// Intern `name`, returning its stable id for this ledger.
+    pub(crate) fn intern(&self, name: &str) -> PhaseId {
+        let mut inner = self.inner.lock();
+        if let Some(&id) = inner.ids.get(name) {
+            return id;
+        }
+        let id = PhaseId::try_from(inner.names.len()).expect("more than 65536 phase labels");
+        inner.names.push(name.to_string());
+        inner.ids.insert(name.to_string(), id);
+        id
+    }
+
+    pub(crate) fn record(&self, rank: usize, phase: PhaseId, elems: u64) {
         let mut inner = self.inner.lock();
         let cell = inner.cells.entry((rank, phase)).or_default();
         cell.messages += 1;
@@ -43,10 +67,12 @@ impl Ledger {
 
     /// Immutable snapshot of all counters.
     pub fn snapshot(&self) -> LedgerSnapshot {
-        LedgerSnapshot { cells: self.inner.lock().cells.clone() }
+        let inner = self.inner.lock();
+        LedgerSnapshot { names: inner.names.clone(), cells: inner.cells.clone() }
     }
 
     /// Reset all counters (e.g. between warm-up and measured iterations).
+    /// Interned labels survive — ids stay valid across the reset.
     pub fn reset(&self) {
         self.inner.lock().cells.clear();
     }
@@ -55,10 +81,15 @@ impl Ledger {
 /// A point-in-time copy of the ledger, queryable without locking.
 #[derive(Clone, Debug, Default)]
 pub struct LedgerSnapshot {
-    cells: HashMap<(usize, &'static str), PhaseVolume>,
+    names: Vec<String>,
+    cells: HashMap<(usize, PhaseId), PhaseVolume>,
 }
 
 impl LedgerSnapshot {
+    fn id_of(&self, phase: &str) -> Option<PhaseId> {
+        self.names.iter().position(|n| n == phase).map(|i| i as PhaseId)
+    }
+
     /// Total elements sent by `rank` across all phases.
     pub fn rank_elements(&self, rank: usize) -> u64 {
         self.cells.iter().filter(|((r, _), _)| *r == rank).map(|(_, v)| v.elements).sum()
@@ -66,16 +97,14 @@ impl LedgerSnapshot {
 
     /// Total elements sent by all ranks in `phase`.
     pub fn phase_elements(&self, phase: &str) -> u64 {
-        self.cells.iter().filter(|((_, p), _)| *p == phase).map(|(_, v)| v.elements).sum()
+        let Some(id) = self.id_of(phase) else { return 0 };
+        self.cells.iter().filter(|((_, p), _)| *p == id).map(|(_, v)| v.elements).sum()
     }
 
     /// Elements sent by `rank` within `phase`.
     pub fn cell(&self, rank: usize, phase: &str) -> PhaseVolume {
-        self.cells
-            .iter()
-            .find(|((r, p), _)| *r == rank && *p == phase)
-            .map(|(_, v)| *v)
-            .unwrap_or_default()
+        let Some(id) = self.id_of(phase) else { return PhaseVolume::default() };
+        self.cells.get(&(rank, id)).copied().unwrap_or_default()
     }
 
     /// Total elements sent by all ranks across all phases.
@@ -93,9 +122,10 @@ impl LedgerSnapshot {
         (0..size).map(|r| self.rank_elements(r)).max().unwrap_or(0)
     }
 
-    /// All phase labels seen, sorted.
-    pub fn phases(&self) -> Vec<&'static str> {
-        let mut v: Vec<&'static str> = self.cells.keys().map(|(_, p)| *p).collect();
+    /// All phase labels that actually recorded traffic, sorted.
+    pub fn phases(&self) -> Vec<&str> {
+        let mut v: Vec<&str> =
+            self.cells.keys().map(|&(_, id)| self.names[id as usize].as_str()).collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -106,13 +136,18 @@ impl LedgerSnapshot {
 mod tests {
     use super::*;
 
+    fn record_named(ledger: &Ledger, rank: usize, phase: &str, elems: u64) {
+        let id = ledger.intern(phase);
+        ledger.record(rank, id, elems);
+    }
+
     #[test]
     fn records_and_aggregates() {
         let ledger = Ledger::new();
-        ledger.record(0, "reduce", 100);
-        ledger.record(0, "reduce", 50);
-        ledger.record(1, "reduce", 30);
-        ledger.record(0, "gather", 7);
+        record_named(&ledger, 0, "reduce", 100);
+        record_named(&ledger, 0, "reduce", 50);
+        record_named(&ledger, 1, "reduce", 30);
+        record_named(&ledger, 0, "gather", 7);
 
         let snap = ledger.snapshot();
         assert_eq!(snap.cell(0, "reduce"), PhaseVolume { messages: 2, elements: 150 });
@@ -125,10 +160,29 @@ mod tests {
     }
 
     #[test]
-    fn reset_clears() {
+    fn dynamic_labels_intern_to_stable_ids() {
         let ledger = Ledger::new();
-        ledger.record(0, "x", 1);
+        for bucket in 0..3 {
+            let label = format!("bucket-{bucket}");
+            record_named(&ledger, 0, &label, 10);
+            // Re-interning the same dynamic string yields the same id.
+            assert_eq!(ledger.intern(&label), bucket as PhaseId);
+        }
+        let snap = ledger.snapshot();
+        assert_eq!(snap.phases(), vec!["bucket-0", "bucket-1", "bucket-2"]);
+        assert_eq!(snap.cell(0, "bucket-1").elements, 10);
+        assert_eq!(snap.cell(0, "bucket-9"), PhaseVolume::default());
+    }
+
+    #[test]
+    fn reset_clears_cells_but_keeps_interned_ids() {
+        let ledger = Ledger::new();
+        let id = ledger.intern("x");
+        ledger.record(0, id, 1);
         ledger.reset();
         assert_eq!(ledger.snapshot().total_elements(), 0);
+        assert_eq!(ledger.intern("x"), id, "interned ids survive reset");
+        ledger.record(0, id, 2);
+        assert_eq!(ledger.snapshot().cell(0, "x").elements, 2);
     }
 }

@@ -84,8 +84,10 @@ pub use cluster::{Cluster, SimReport};
 pub use comm::{Comm, Tag};
 pub use cost::Hierarchy;
 pub use cost::{CostModel, WireSize};
-pub use engine::Engine;
+pub use engine::{Engine, SchedEvent, SchedKind};
 pub use ledger::{Ledger, LedgerSnapshot, PhaseVolume};
 pub use net::{GroupComm, Net};
 pub use request::{RecvHandle, SendHandle};
-pub use trace::{render_timeline, render_timeline_with_chaos, TraceEvent, TraceKind};
+pub use trace::{
+    export_chrome, render_timeline, render_timeline_with_chaos, TraceEvent, TraceKind,
+};

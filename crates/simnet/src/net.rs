@@ -10,6 +10,7 @@
 use crate::comm::{Comm, Tag};
 use crate::cost::WireSize;
 use crate::request::{RecvHandle, SendHandle};
+use std::borrow::Cow;
 use std::sync::Arc;
 
 /// The communicator interface all collectives are generic over.
@@ -31,8 +32,10 @@ pub trait Net {
     fn now(&self) -> f64;
     /// Force the clock to at least `t`.
     fn advance_to(&mut self, t: f64);
-    /// Label subsequent traffic in the ledger.
-    fn set_phase(&mut self, phase: &'static str);
+    /// Label subsequent traffic in the ledger. Accepts `&'static str` and
+    /// owned `String`s alike; labels are interned, so dynamically built
+    /// per-bucket/per-layer labels cost one allocation per distinct name.
+    fn set_phase(&mut self, phase: impl Into<Cow<'static, str>>);
     /// Toggle zero-cost instrumentation mode.
     fn set_free_mode(&mut self, on: bool);
     /// Synchronize all ranks *of this communicator*.
@@ -146,7 +149,7 @@ impl Net for Comm {
         Comm::advance_to(self, t)
     }
 
-    fn set_phase(&mut self, phase: &'static str) {
+    fn set_phase(&mut self, phase: impl Into<Cow<'static, str>>) {
         Comm::set_phase(self, phase)
     }
 
@@ -277,7 +280,7 @@ impl Net for GroupComm<'_> {
         self.comm.advance_to(t)
     }
 
-    fn set_phase(&mut self, phase: &'static str) {
+    fn set_phase(&mut self, phase: impl Into<Cow<'static, str>>) {
         self.comm.set_phase(phase)
     }
 

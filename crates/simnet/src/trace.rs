@@ -94,7 +94,9 @@ fn render_rows(out: &mut String, traces: &[Vec<TraceEvent>], width: usize, t_max
         let mut row = vec!['·'; width];
         for e in events {
             let a = ((e.start / t_max) * width as f64).floor() as usize;
-            let b = ((e.end / t_max) * width as f64).ceil() as usize;
+            // Zero-length intervals (instant barriers, empty pauses) would
+            // otherwise have floor(a) == ceil(b) and vanish; paint ≥1 cell.
+            let b = (((e.end / t_max) * width as f64).ceil() as usize).max(a + 1);
             for cell in row.iter_mut().take(b.min(width)).skip(a.min(width)) {
                 *cell = e.glyph();
             }
@@ -141,6 +143,93 @@ pub fn render_timeline_with_chaos(
     out.push_str(&format!("chaos    |{}|\n", row.iter().collect::<String>()));
     render_rows(&mut out, traces, width, t_max);
     out
+}
+
+/// Export per-rank traces, structured spans, scheduler decisions and chaos
+/// windows as one Chrome/Perfetto `trace_events` JSON document.
+///
+/// Layout: one *pid per rank* with thread 0 carrying the flat activity
+/// timeline and thread 1 the nested [`obs::SpanEvent`] spans; the event
+/// engine's scheduler log gets its own pid (token grants and parks as instant
+/// events), and chaos windows land as instants on a final "chaos" pid.
+/// Virtual seconds map to microseconds (`ts = vsec × 10⁶`). Any of the
+/// slices may be empty; the output is a valid document either way.
+pub fn export_chrome(
+    traces: &[Vec<TraceEvent>],
+    spans: &[Vec<obs::SpanEvent>],
+    sched: &[crate::engine::SchedEvent],
+    windows: &[(f64, f64)],
+) -> String {
+    use obs::chrome::{Arg, TraceBuilder};
+    const US: f64 = 1e6;
+    let ranks = traces.len().max(spans.len());
+    let mut tb = TraceBuilder::new();
+    for rank in 0..ranks {
+        let pid = rank as u64;
+        tb.process_name(pid, &format!("rank {rank}"));
+        tb.process_sort_index(pid, rank as i64);
+        tb.thread_name(pid, 0, "timeline");
+        if spans.get(rank).is_some_and(|s| !s.is_empty()) {
+            tb.thread_name(pid, 1, "spans");
+        }
+    }
+    for (rank, events) in traces.iter().enumerate() {
+        let pid = rank as u64;
+        for e in events {
+            let (name, mut args): (String, Vec<(&str, Arg)>) = match e.kind {
+                TraceKind::Send { dst, elems } => {
+                    (format!("send → {dst}"), vec![("elems", Arg::U64(elems))])
+                }
+                TraceKind::Recv { src, elems } => {
+                    (format!("recv ← {src}"), vec![("elems", Arg::U64(elems))])
+                }
+                TraceKind::Compute => ("compute".to_string(), vec![]),
+                TraceKind::Barrier => ("barrier".to_string(), vec![]),
+                TraceKind::Pause => ("chaos pause".to_string(), vec![]),
+            };
+            if e.perturbed {
+                args.push(("perturbed", Arg::U64(1)));
+            }
+            tb.complete(pid, 0, &name, e.start * US, (e.end - e.start) * US, &args);
+        }
+    }
+    for (rank, rank_spans) in spans.iter().enumerate() {
+        let pid = rank as u64;
+        for s in rank_spans {
+            tb.complete(
+                pid,
+                1,
+                &s.name,
+                s.vstart * US,
+                (s.vend - s.vstart) * US,
+                &[("depth", Arg::U64(s.depth as u64)), ("host_wall_ns", Arg::U64(s.wall_ns))],
+            );
+        }
+    }
+    if !sched.is_empty() {
+        let pid = ranks as u64;
+        tb.process_name(pid, "event-engine scheduler");
+        tb.process_sort_index(pid, ranks as i64);
+        for ev in sched {
+            let name = match ev.kind {
+                crate::engine::SchedKind::Grant => "grant",
+                crate::engine::SchedKind::RecvPark => "recv park",
+                crate::engine::SchedKind::BarrierPark => "barrier park",
+                crate::engine::SchedKind::Finish => "finish",
+            };
+            tb.instant(pid, 0, name, ev.vclock * US, &[("rank", Arg::U64(ev.rank as u64))]);
+        }
+    }
+    if !windows.is_empty() {
+        let pid = ranks as u64 + 1;
+        tb.process_name(pid, "chaos windows");
+        tb.process_sort_index(pid, ranks as i64 + 1);
+        for &(start, end) in windows {
+            let args = [("start_s", Arg::F64(start)), ("end_s", Arg::F64(end))];
+            tb.instant(pid, 0, "chaos window", start * US, &args);
+        }
+    }
+    tb.finish()
 }
 
 #[cfg(test)]
@@ -237,5 +326,92 @@ mod tests {
     #[cfg(debug_assertions)]
     fn inverted_perturbed_pair_trips_debug_assert() {
         let _ = TraceEvent::tagged(1.0, 0.5, TraceKind::Pause, true);
+    }
+
+    #[test]
+    fn empty_trace_renders_a_header_and_no_rows() {
+        let s = render_timeline(&[], 20);
+        assert_eq!(s.lines().count(), 1, "header only: {s:?}");
+        assert!(s.starts_with("timeline 0 .. "));
+        // The chaos variant still renders its window row over the degenerate
+        // span without dividing by zero.
+        let s = render_timeline_with_chaos(&[], 20, &[(0.0, 1.0)]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].starts_with("chaos"));
+    }
+
+    #[test]
+    fn zero_length_intervals_still_occupy_one_column() {
+        // A zero-duration event (floor(a) == position of ceil(b)) must not
+        // vanish: ceil rounds the right edge up to paint at least one cell.
+        let traces = vec![vec![
+            TraceEvent::new(0.0, 1.0, TraceKind::Compute),
+            TraceEvent::new(0.25, 0.25, TraceKind::Barrier),
+        ]];
+        let s = render_timeline(&traces, 20);
+        let row = s.lines().nth(1).expect("rank row");
+        assert!(row.contains('B'), "zero-length event painted: {row}");
+    }
+
+    #[test]
+    fn overlapping_chaos_windows_merge_in_the_header_row() {
+        let traces = vec![vec![TraceEvent::new(0.0, 1.0, TraceKind::Compute)]];
+        // Two overlapping windows plus one inverted (end < start) that must be
+        // skipped; the merged mark covers [0.2, 0.8] exactly once.
+        let windows = [(0.2, 0.6), (0.4, 0.8), (0.9, 0.1)];
+        let s = render_timeline_with_chaos(&traces, 20, &windows);
+        let row = s.lines().nth(1).expect("chaos row");
+        let marks = row.chars().filter(|&c| c == '#').count();
+        assert!((11..=14).contains(&marks), "merged window width: {row}");
+        // Contiguous: one '#' run, no gap between the overlapping windows.
+        let body: String = row.chars().skip_while(|&c| c != '|').collect();
+        assert!(!body.contains("#·#"), "no gap inside merged windows: {row}");
+    }
+
+    #[test]
+    fn chrome_export_is_valid_and_carries_every_track() {
+        use crate::engine::{SchedEvent, SchedKind};
+        let traces = vec![
+            vec![TraceEvent::new(0.0, 0.5, TraceKind::Send { dst: 1, elems: 4 })],
+            vec![TraceEvent::tagged(0.0, 0.5, TraceKind::Recv { src: 0, elems: 4 }, true)],
+        ];
+        let spans = vec![
+            vec![obs::SpanEvent {
+                name: "step".into(),
+                vstart: 0.0,
+                vend: 0.5,
+                depth: 0,
+                wall_ns: 123,
+            }],
+            vec![],
+        ];
+        let sched = vec![SchedEvent { vclock: 0.1, rank: 1, kind: SchedKind::Grant }];
+        let doc = export_chrome(&traces, &spans, &sched, &[(0.2, 0.4)]);
+        let v = obs::json::validate(&doc).expect("valid trace_events JSON");
+        let events = v.get("traceEvents").and_then(obs::json::Json::as_arr).expect("array");
+        let names: Vec<&str> =
+            events.iter().filter_map(|e| e.get("name").and_then(obs::json::Json::as_str)).collect();
+        assert!(names.contains(&"send → 1"));
+        assert!(names.contains(&"recv ← 0"));
+        assert!(names.contains(&"step"));
+        assert!(names.contains(&"grant"));
+        assert!(names.contains(&"chaos window"));
+        // pid layout: ranks 0..2, scheduler at 2, chaos at 3.
+        let max_pid = events
+            .iter()
+            .filter_map(|e| e.get("pid").and_then(obs::json::Json::as_f64))
+            .fold(0.0f64, f64::max);
+        assert_eq!(max_pid, 3.0);
+    }
+
+    #[test]
+    fn chrome_export_of_nothing_is_an_empty_document() {
+        let doc = export_chrome(&[], &[], &[], &[]);
+        let v = obs::json::validate(&doc).expect("valid");
+        assert_eq!(
+            v.get("traceEvents").and_then(obs::json::Json::as_arr).map(<[obs::json::Json]>::len),
+            Some(0)
+        );
     }
 }

@@ -28,8 +28,10 @@ where
     F: Fn(&mut simnet::Comm) -> T + Send + Sync + Copy,
 {
     let size = mk().size();
-    let thread = mk().with_engine(Engine::Thread).run(f);
-    let event = mk().with_engine(Engine::Event).run(f);
+    // Force observability on: parity must also cover every Virtual-class
+    // metric (recv-wait, tx/rx bytes, chaos counters, …), bit for bit.
+    let thread = mk().with_obs(true).with_engine(Engine::Thread).run(f);
+    let event = mk().with_obs(true).with_engine(Engine::Event).run(f);
     assert_eq!(thread.results, event.results, "per-rank results diverged across engines");
     assert_eq!(thread.times, event.times, "virtual clocks diverged across engines");
     assert_eq!(
@@ -37,6 +39,12 @@ where
         ledger_canon(&event.ledger, size),
         "traffic ledgers diverged across engines"
     );
+    assert_eq!(
+        thread.metrics.parity_view(),
+        event.metrics.parity_view(),
+        "virtual-class metrics diverged across engines"
+    );
+    assert!(!thread.metrics.parity_view().is_empty(), "obs was forced on; metrics must exist");
     (event.results, event.times)
 }
 

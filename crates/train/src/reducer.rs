@@ -320,6 +320,18 @@ impl Reducer {
     pub fn residual(&self) -> &[f32] {
         &self.residual
     }
+
+    /// L2 norm of the current error-feedback residual, whichever scheme holds
+    /// it (Ok-Topk keeps its own; dense schemes have none, so 0). An
+    /// observability convenience: the trainer charts this per step to confirm
+    /// the residual mass stays bounded (Assumption 1's premise).
+    pub fn residual_l2(&self) -> f64 {
+        let r = match &self.oktopk {
+            Some(s) => s.residual(),
+            None => self.residual.as_slice(),
+        };
+        sparse::stats::l2_norm(r)
+    }
 }
 
 #[cfg(test)]

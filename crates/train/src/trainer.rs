@@ -5,7 +5,7 @@ use crate::reducer::{Reducer, Scheme, Update};
 use collectives::{allreduce_inplace, allreduce_sum_f64};
 use dnn::optim::{Adam, Sgd};
 use dnn::Model;
-use simnet::{Cluster, Comm};
+use simnet::{Cluster, Comm, Engine};
 use sparse::select::topk_exact;
 use sparse::stats::l2_norm;
 
@@ -52,6 +52,13 @@ pub struct TrainConfig {
     pub eval_every: usize,
     /// Measure ξ (Assumption 1) every this many iterations (0 = never; Ok-Topk only).
     pub measure_xi_every: usize,
+    /// Simulation engine; `None` defers to the cluster default (`SIMNET_ENGINE`).
+    /// Weak-scaling harnesses force [`Engine::Event`] above thread-engine
+    /// comfort (see `okbench::weak_scaling_panel`).
+    pub engine: Option<Engine>,
+    /// Record per-rank activity traces, structured spans and (event engine)
+    /// scheduler decisions for Chrome-trace export; see `RunResult::traces`.
+    pub profile: bool,
 }
 
 impl TrainConfig {
@@ -69,6 +76,8 @@ impl TrainConfig {
             lr_decay_iters: 0,
             eval_every: 0,
             measure_xi_every: 0,
+            engine: None,
+            profile: false,
         }
     }
 }
@@ -123,6 +132,25 @@ pub struct RunResult {
     pub evals: Vec<EvalPoint>,
     /// Modeled makespan of the whole run (slowest rank).
     pub makespan: f64,
+    /// The run's metrics snapshot (simnet + trainer instruments; empty values
+    /// when observability is disabled).
+    pub metrics: obs::MetricsSnapshot,
+    /// Per-rank activity traces (empty unless [`TrainConfig::profile`]).
+    pub traces: Vec<Vec<simnet::TraceEvent>>,
+    /// Per-rank structured spans (empty unless [`TrainConfig::profile`]).
+    pub spans: Vec<Vec<obs::SpanEvent>>,
+    /// Event-engine scheduler decisions (empty unless profiling on the event
+    /// engine).
+    pub sched: Vec<simnet::SchedEvent>,
+}
+
+/// What each rank closure returns; only rank 0's records/evals are kept, but
+/// traces and spans are collected from every rank.
+struct RankRun {
+    records: Vec<IterRecord>,
+    evals: Vec<EvalPoint>,
+    trace: Vec<simnet::TraceEvent>,
+    spans: Vec<obs::SpanEvent>,
 }
 
 impl RunResult {
@@ -172,11 +200,29 @@ where
     let mut cfg = *cfg;
     cfg.cost = cfg.cost.scaled_for_model(n);
     let cfg = &cfg;
-    let cluster = Cluster::new(p, cfg.cost.network());
+    let mut cluster = Cluster::new(p, cfg.cost.network());
+    if let Some(engine) = cfg.engine {
+        cluster = cluster.with_engine(engine);
+    }
+    if cfg.profile {
+        cluster = cluster.with_sched_trace(true);
+    }
     let report = cluster.run(|comm| train_rank(comm, cfg, &make_model, &make_batch, eval_batches));
     let makespan = report.makespan();
-    let (records, evals) = report.results.into_iter().next().expect("rank 0 result");
-    RunResult { scheme: cfg.scheme, records, evals, makespan }
+    let metrics = report.metrics;
+    let sched = report.sched;
+    let mut traces = Vec::with_capacity(p);
+    let mut spans = Vec::with_capacity(p);
+    let mut rank0 = None;
+    for (rank, run) in report.results.into_iter().enumerate() {
+        traces.push(run.trace);
+        spans.push(run.spans);
+        if rank == 0 {
+            rank0 = Some((run.records, run.evals));
+        }
+    }
+    let (records, evals) = rank0.expect("rank 0 result");
+    RunResult { scheme: cfg.scheme, records, evals, makespan, metrics, traces, spans, sched }
 }
 
 fn train_rank<M, FM, FB>(
@@ -185,7 +231,7 @@ fn train_rank<M, FM, FB>(
     make_model: &FM,
     make_batch: &FB,
     eval_batches: &[M::Batch],
-) -> (Vec<IterRecord>, Vec<EvalPoint>)
+) -> RankRun
 where
     M: Model,
     FM: Fn() -> M,
@@ -193,6 +239,21 @@ where
 {
     let rank = comm.rank();
     let world = comm.size();
+    if cfg.profile {
+        comm.enable_trace();
+        comm.enable_spans();
+    }
+    // Trainer instruments live in the same per-run registry as simnet's, so
+    // they land in `RunResult::metrics` and inherit the Virtual-class
+    // cross-engine parity guarantee (all are per-rank single-writer values or
+    // functions of the data, never of host scheduling).
+    let m_obs = comm.obs().enabled();
+    let m_compute = comm.obs().rank_f64("train.compute_vsec", obs::Class::Virtual);
+    let m_sparsify = comm.obs().rank_f64("train.sparsify_vsec", obs::Class::Virtual);
+    let m_comm = comm.obs().rank_f64("train.comm_vsec", obs::Class::Virtual);
+    let m_residual = comm.obs().rank_f64("train.residual_l2", obs::Class::Virtual);
+    let m_nnz = comm.obs().histogram("train.local_nnz", obs::Class::Virtual);
+    let m_steps = comm.obs().counter("train.steps", obs::Class::Virtual);
     let mut model = make_model();
     let n = model.num_params();
     let mut reducer = Reducer::new(cfg.scheme, n, cfg.density, cfg.cost, cfg.tau, cfg.tau_prime);
@@ -227,6 +288,8 @@ where
         }
 
         // Real gradient computation on this rank's shard.
+        comm.span_enter("iter");
+        comm.span_enter("compute");
         let batch = make_batch((t - 1) as u64, rank, world);
         model.zero_grads();
         let stats = model.forward_backward(&batch);
@@ -234,6 +297,7 @@ where
         // Modeled compute: the non-overlappable share now, the rest (DenseOvlp's
         // overlap window) runs concurrently with communication below.
         comm.compute(fwd_time * (1.0 - overlap));
+        comm.span_exit();
         let t_comm_start = comm.now();
 
         // ξ instrumentation part A: gather the dense accumulator/gradient averages
@@ -258,8 +322,10 @@ where
 
         // The overlapped backward tail (DenseOvlp) is spent *inside* the
         // allreduce, spread across its steps between posted receives and waits.
+        comm.span_enter("exchange");
         let (update, metrics) =
             reducer.reduce_with_overlap(comm, model.grads(), scale, fwd_time * overlap);
+        comm.span_exit();
         let t_comm_end = comm.now();
 
         let comm_visible =
@@ -318,6 +384,21 @@ where
         comm.set_free_mode(false);
         let train_loss = if sums[1] > 0.0 { sums[0] / sums[1] } else { 0.0 };
 
+        if m_obs {
+            m_steps.inc();
+            m_compute.add(rank, fwd_time);
+            m_sparsify.add(rank, metrics.sparsify_time);
+            m_comm.add(rank, comm_visible);
+            if let Some(nnz) = metrics.local_nnz {
+                m_nnz.record(nnz as u64);
+            }
+            // Error-feedback health: residual mass left behind after this
+            // step's selection (bounded ⇔ Assumption 1's premise holds).
+            if cfg.scheme.is_sparse() {
+                m_residual.add(rank, reducer.residual_l2());
+            }
+        }
+
         records.push(IterRecord {
             t,
             compute: fwd_time,
@@ -346,9 +427,10 @@ where
                 accuracy: agg.accuracy(),
             });
         }
+        comm.span_exit(); // iter
     }
 
-    (records, evals)
+    RankRun { records, evals, trace: comm.take_trace(), spans: comm.take_spans() }
 }
 
 #[cfg(test)]

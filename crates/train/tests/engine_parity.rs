@@ -1,0 +1,125 @@
+//! Cross-engine observability parity at the scheme level: for every one of
+//! the seven gradient-exchange schemes, the Virtual-class metrics recorded
+//! during a run (recv-wait, tx/rx bytes, message histograms, chaos counters,
+//! trainer phase times, …) must be bit-identical between `Engine::Thread` and
+//! `Engine::Event` — clean and under a chaos plan. Host-class metrics (pool
+//! behavior, scheduler token traffic, wall time) are exempt by design.
+
+use simnet::{ChaosPlan, Cluster, Engine};
+use train::{CostProfile, Reducer, Scheme, Update};
+
+/// Deterministic pseudo-gradient: a fixed function of (rank, iter, index).
+fn grad(rank: usize, t: usize, n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let x = (rank * 7919 + t * 104729 + i) as u64;
+            let h = x.wrapping_mul(0x9e3779b97f4a7c15);
+            ((h >> 40) as f32 / (1 << 24) as f32) - 0.5
+        })
+        .collect()
+}
+
+/// Run three reduce steps of `scheme` on 4 ranks under `engine`, with
+/// observability forced on; return clocks and the Virtual-metric bit view.
+fn run_once(
+    scheme: Scheme,
+    engine: Engine,
+    chaos: bool,
+) -> (Vec<f64>, Vec<(String, Vec<u64>)>, Vec<f64>) {
+    let p = 4;
+    let n = 512;
+    let cost = CostProfile::paper_calibrated();
+    let mut cluster = Cluster::new(p, cost.network()).with_obs(true).with_engine(engine);
+    if chaos {
+        let plan = ChaosPlan::new(11)
+            .straggler(1, 1.6)
+            .degrade_all_links(1.3, 1.4, 0.0, 1e-3)
+            .jitter(2e-6)
+            .pause(2, 1e-4, 5e-4);
+        cluster = cluster.with_chaos(plan);
+    }
+    let report = cluster.run(move |comm| {
+        let mut reducer = Reducer::new(scheme, n, 0.05, cost, 2, 2);
+        let mut checksum = 0.0f64;
+        for t in 0..3 {
+            let g = grad(comm.rank(), t, n);
+            let (update, _) = reducer.reduce_with_overlap(comm, &g, 0.1, 0.0);
+            checksum += match &update {
+                Update::Dense(v) => v.iter().map(|&x| x as f64).sum::<f64>(),
+                Update::Sparse(u) => u.values().iter().map(|&x| x as f64).sum::<f64>(),
+            };
+        }
+        checksum
+    });
+    (report.times.clone(), report.metrics.parity_view(), report.results)
+}
+
+fn assert_scheme_parity(scheme: Scheme, chaos: bool) {
+    let (t_clocks, t_metrics, t_results) = run_once(scheme, Engine::Thread, chaos);
+    let (e_clocks, e_metrics, e_results) = run_once(scheme, Engine::Event, chaos);
+    let label = scheme.name();
+    assert_eq!(t_results, e_results, "{label}: reduce results diverged across engines");
+    assert_eq!(t_clocks, e_clocks, "{label}: virtual clocks diverged across engines");
+    assert_eq!(t_metrics, e_metrics, "{label}: virtual-class metrics diverged across engines");
+    assert!(
+        t_metrics.iter().any(|(name, _)| name == "sim.recv_wait_vsec"),
+        "{label}: recv-wait metric missing with obs forced on"
+    );
+}
+
+#[test]
+fn all_seven_schemes_have_metric_parity_clean() {
+    for scheme in Scheme::all() {
+        assert_scheme_parity(scheme, false);
+    }
+}
+
+#[test]
+fn all_seven_schemes_have_metric_parity_under_chaos() {
+    for scheme in Scheme::all() {
+        assert_scheme_parity(scheme, true);
+    }
+}
+
+/// End-to-end trainer parity: the `train.*` instruments (phase times, nnz
+/// histogram, residual norms) recorded through `run_data_parallel` are also
+/// Virtual-class and must match across engines.
+#[test]
+fn trainer_metrics_match_across_engines() {
+    use dnn::data::SyntheticImages;
+    use dnn::models::VggLite;
+    use train::{run_data_parallel, OptimizerKind, TrainConfig};
+
+    obs::set_enabled(true);
+    let run = |engine: Engine| {
+        let mut cfg = TrainConfig::new(Scheme::OkTopk, 0.05);
+        cfg.iters = 4;
+        cfg.local_batch = 2;
+        cfg.tau = 2;
+        cfg.tau_prime = 2;
+        cfg.optimizer = OptimizerKind::Sgd { lr: 0.05 };
+        cfg.engine = Some(engine);
+        let data = SyntheticImages::with_shape(1, 4, 3, 8, 0.5);
+        run_data_parallel(
+            3,
+            &cfg,
+            || VggLite::with_width(7, 4, 8, 16, 4, 8),
+            move |it, r, w| data.train_batch(it, r, w, 2),
+            &[],
+        )
+    };
+    let thread = run(Engine::Thread);
+    let event = run(Engine::Event);
+    assert_eq!(thread.makespan, event.makespan, "makespan diverged");
+    assert_eq!(
+        thread.metrics.parity_view(),
+        event.metrics.parity_view(),
+        "trainer virtual metrics diverged across engines"
+    );
+    for name in ["train.compute_vsec", "train.sparsify_vsec", "train.residual_l2"] {
+        assert!(
+            thread.metrics.parity_view().iter().any(|(n, _)| n == name),
+            "missing trainer metric {name}"
+        );
+    }
+}

@@ -10,6 +10,8 @@
 #   below 1.5, unless the row is flagged serial_fallback (the adaptive
 #   granularity policy chose 1 thread, or the host resolved to the scalar lane
 #   path — parallel == serial by design, e.g. on a single-core/non-SIMD host).
+#   It also fails if the obs_off_vs_on row shows the metrics registry costing
+#   more than 2% on a messaging-heavy collective workload.
 # - msgpath fails the script if the pooled message path loses to the boxed
 #   baseline (speedup < 1.0) at P = 16.
 # - chaos runs a tiny P=4 robustness sweep and fails the script if any
@@ -53,6 +55,17 @@ echo "== tests (event engine: SIMNET_ENGINE=event) =="
 # engine; re-run every simnet-driven suite with the event engine as the
 # default so the whole stack exercises the parked-continuation path.
 SIMNET_ENGINE=event cargo test -q --workspace
+
+echo "== tests (observability off: OKTOPK_OBS=off) =="
+# The obs kill switch promises zero behavioural difference: every result,
+# clock and ledger must be unchanged with the metrics registry disabled.
+# Run the suites that instrument the hot paths with obs forced off.
+OKTOPK_OBS=off cargo test -q -p simnet -p okpar -p train -p okbench
+
+echo "== obs trace export (obsdump, schema-checked) =="
+# The profiling command must produce a loadable Perfetto trace end to end.
+cargo run --release -p okbench --bin obsdump -- --ranks 2 --iters 2 \
+  --engine event --out target/obsdump-trace.json > /dev/null
 
 echo "== hot-path bench (quick, gated) =="
 cargo run --release -p okbench --bin hotpath -- --quick --gate --out target/hotpath-gate.json
