@@ -4,10 +4,13 @@
 //! Expected shape mirrors Fig. 8 at larger P: allgather-based schemes degrade
 //! with P while Ok-Topk stays flat. Paper: Ok-Topk outperforms others
 //! 1.34×–7.71× on 64 ranks.
+//!
+//! `--paper-axis` instead sweeps the scalable trio over P ∈ {256 … 4096} on
+//! the event engine (clean + one chaos cell at the top P).
 
 use dnn::data::SyntheticSequences;
 use dnn::models::LstmNet;
-use okbench::{iters, weak_scaling_panel};
+use okbench::{iters, paper_axis_panel, weak_scaling_panel};
 use train::{OptimizerKind, Scheme, TrainConfig};
 
 fn main() {
@@ -22,6 +25,16 @@ fn main() {
 
     let data = SyntheticSequences::new(3);
     let local_batch = cfg.local_batch;
+
+    if std::env::args().any(|a| a == "--paper-axis") {
+        paper_axis_panel(
+            "Figure 10 (paper axis) — LSTM stand-in weak scaling to P = 4096 (density = 2%)",
+            &cfg,
+            || LstmNet::new(21),
+            move |it, r, w| data.train_batch(it, r, w, local_batch),
+        );
+        return;
+    }
     let results = weak_scaling_panel(
         "Figure 10 — weak scaling of LSTM stand-in on AN4 stand-in (density = 2%)",
         &[32, 64],

@@ -5,10 +5,13 @@
 //! the dense allreduce (allgather ∝ P); TopkDSA sits in between (fill-in grows
 //! with P); Ok-Topk stays flat. Paper: Ok-Topk beats everything 3.29×–12.95× at
 //! 256 ranks and keeps 76.3% weak-scaling parallel efficiency vs 32 ranks.
+//!
+//! `--paper-axis` instead sweeps the scalable trio over P ∈ {256 … 4096} on
+//! the event engine (clean + one chaos cell at the top P).
 
 use dnn::data::SyntheticMaskedLm;
 use dnn::models::BertLite;
-use okbench::{full_scale, iters, weak_scaling_panel};
+use okbench::{full_scale, iters, paper_axis_panel, weak_scaling_panel};
 use train::{OptimizerKind, Scheme, TrainConfig};
 
 fn main() {
@@ -24,6 +27,16 @@ fn main() {
     let ps: Vec<usize> = vec![32, 64, 128, 256];
     let data = SyntheticMaskedLm::new(5);
     let local_batch = cfg.local_batch;
+
+    if std::env::args().any(|a| a == "--paper-axis") {
+        paper_axis_panel(
+            "Figure 12 (paper axis) — BERT stand-in weak scaling to P = 4096 (density = 1%)",
+            &cfg,
+            || BertLite::new(13),
+            move |it, r, w| data.train_batch(it, r, w, local_batch),
+        );
+        return;
+    }
     let results = weak_scaling_panel(
         "Figure 12 — weak scaling of BERT stand-in pre-training (density = 1%)",
         &ps,

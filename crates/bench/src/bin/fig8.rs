@@ -6,10 +6,13 @@
 //! Ok-Topk has the lowest communication and near-Gaussiank selection; TopkA and
 //! Gaussiank communication roughly doubles from 16 to 32 ranks (allgather ∝ P)
 //! while Ok-Topk's stays flat. Paper: Ok-Topk outperforms others 1.51×–8.83× on 32.
+//!
+//! `--paper-axis` instead sweeps the scalable trio over P ∈ {256 … 4096} on
+//! the event engine (clean + one chaos cell at the top P).
 
 use dnn::data::SyntheticImages;
 use dnn::models::VggLite;
-use okbench::{iters, weak_scaling_panel};
+use okbench::{iters, paper_axis_panel, weak_scaling_panel};
 use train::{OptimizerKind, Scheme, TrainConfig};
 
 fn main() {
@@ -24,6 +27,16 @@ fn main() {
 
     let data = SyntheticImages::new(2);
     let local_batch = cfg.local_batch;
+
+    if std::env::args().any(|a| a == "--paper-axis") {
+        paper_axis_panel(
+            "Figure 8 (paper axis) — VGG stand-in weak scaling to P = 4096 (density = 2%)",
+            &cfg,
+            || VggLite::new(16),
+            move |it, r, w| data.train_batch(it, r, w, local_batch),
+        );
+        return;
+    }
     let results = weak_scaling_panel(
         "Figure 8 — weak scaling of VGG stand-in on Cifar-10 stand-in (density = 2%)",
         &[16, 32],

@@ -190,6 +190,115 @@ where
     out
 }
 
+/// The paper-scale cluster axis: P ∈ {256 … 4096}. Quick mode keeps the
+/// endpoints plus one midpoint so the sweep stays inside the pre-PR gate's
+/// budget; `OKBENCH_FULL=1` fills in the full power-of-two ladder.
+pub fn paper_axis() -> Vec<usize> {
+    if full_scale() {
+        vec![256, 512, 1024, 2048, 4096]
+    } else {
+        vec![256, 1024, 4096]
+    }
+}
+
+/// Paper-scale weak-scaling axis shared by Figs. 8, 10 and 12 (`--paper-axis`):
+/// sweep the figure's model over [`paper_axis`] on `Engine::Event` with the
+/// scheduler fast paths carrying the grants. The scheme set is the scalable
+/// trio {Dense, gTopk, Ok-Topk} — the allgather-based baselines' host cost is
+/// Θ(P²·k) and stops being simulable long before 4096, which is itself the
+/// paper's point. At the top P the Ok-Topk cell is re-run under one chaos
+/// configuration (straggler + degraded links + jitter) to show the sweep is
+/// not clean-path-only. Returns `(P, scheme, chaos?, modeled time/iter)`.
+pub fn paper_axis_panel<M, FM, FB>(
+    title: &str,
+    base: &TrainConfig,
+    make_model: FM,
+    make_batch: FB,
+) -> Vec<(usize, Scheme, bool, f64)>
+where
+    M: Model,
+    M::Batch: Sync,
+    FM: Fn() -> M + Send + Sync,
+    FB: Fn(u64, usize, usize) -> M::Batch + Send + Sync,
+{
+    use train::run_data_parallel_chaos;
+
+    let ps = paper_axis();
+    let schemes = [Scheme::Dense, Scheme::GTopk, Scheme::OkTopk];
+    // Two iterations, one warmup: the panel measures the per-iteration steady
+    // state of a deterministic simulation, not a statistical average, and at
+    // P = 4096 every extra iteration is 4096 rank-steps of real compute.
+    let iters = 2;
+    let warmup = 1;
+    println!("{title}");
+    println!("paper axis {ps:?} on the event engine ({iters} iters, {warmup} warmup):");
+    let mut out = Vec::new();
+    for &p in &ps {
+        println!("\nP = {p} ranks:");
+        for &scheme in &schemes {
+            let mut cfg = *base;
+            cfg.scheme = scheme;
+            cfg.iters = iters;
+            cfg.engine = Some(simnet::Engine::Event);
+            cfg.stack_bytes = Some(1 << 20);
+            let wall = std::time::Instant::now();
+            let res = run_data_parallel_chaos(p, &cfg, None, &make_model, &make_batch, &[]);
+            let (c, s, m) = res.mean_breakdown(warmup);
+            print_breakdown_row(scheme, c, s, m);
+            println!(
+                "             host: {:.1}s wall{}",
+                wall.elapsed().as_secs_f64(),
+                sched_summary(&res.metrics).map(|l| format!(", {l}")).unwrap_or_default()
+            );
+            out.push((p, scheme, false, c + s + m));
+        }
+    }
+    // One chaos configuration at the top P: the fast paths must hold their
+    // schedule (and the run must complete) when timing is perturbed.
+    let p_top = *ps.last().expect("non-empty axis");
+    let plan = simnet::ChaosPlan::new(9)
+        .straggler(1, 1.5)
+        .degrade_all_links(1.2, 1.3, 0.0, 5e-4)
+        .jitter(1e-6);
+    let mut cfg = *base;
+    cfg.scheme = Scheme::OkTopk;
+    cfg.iters = iters;
+    cfg.engine = Some(simnet::Engine::Event);
+    cfg.stack_bytes = Some(1 << 20);
+    let wall = std::time::Instant::now();
+    let res = run_data_parallel_chaos(p_top, &cfg, Some(plan), &make_model, &make_batch, &[]);
+    let (c, s, m) = res.mean_breakdown(warmup);
+    println!(
+        "\nP = {p_top} ranks, Ok-Topk under chaos (straggler 1.5x + links 1.2-1.3x + jitter):"
+    );
+    print_breakdown_row(Scheme::OkTopk, c, s, m);
+    println!("             host: {:.1}s wall", wall.elapsed().as_secs_f64());
+    let clean = out
+        .iter()
+        .find(|(p, sc, _, _)| *p == p_top && *sc == Scheme::OkTopk)
+        .map(|(_, _, _, t)| *t)
+        .expect("clean Ok-Topk cell ran");
+    println!("             chaos/clean time ratio: {:.2}x (must be >= 1)", (c + s + m) / clean);
+    out.push((p_top, Scheme::OkTopk, true, c + s + m));
+    out
+}
+
+/// Compact one-line scheduler-counter summary (parks per rank, handoff rate),
+/// or `None` when the scheduler counters are absent (thread engine / obs off).
+pub fn sched_summary(metrics: &obs::MetricsSnapshot) -> Option<String> {
+    use obs::MetricValue;
+    let counter = |name: &str| match metrics.get(name) {
+        Some(MetricValue::Counter(v)) => Some(*v),
+        _ => None,
+    };
+    let parks = counter("engine.parks")?;
+    let grants = counter("engine.token_grants").unwrap_or(0);
+    let direct =
+        counter("engine.handoff_hit").unwrap_or(0) + counter("engine.handoff_miss").unwrap_or(0);
+    let rate = if grants > 0 { direct as f64 / grants as f64 } else { 0.0 };
+    Some(format!("sched: {parks} parks, handoff rate {:.0}%", rate * 100.0))
+}
+
 /// Compact one-line observability summary of a run's metrics snapshot, or
 /// `None` when the snapshot is empty (observability off).
 pub fn obs_summary(metrics: &obs::MetricsSnapshot) -> Option<String> {

@@ -3,7 +3,9 @@
 
 use crate::comm::{Backend, BarrierState, Comm, PoolBudget, SimMetrics};
 use crate::cost::CostModel;
-use crate::engine::{default_workers, Cascade, Engine, EngineMetrics, EventCore, SchedEvent};
+use crate::engine::{
+    default_workers, Cascade, Engine, EngineMetrics, EventCore, SchedEvent, SchedMode,
+};
 use crate::envelope::Envelope;
 use crate::ledger::{Ledger, LedgerSnapshot};
 use chaos::{ChaosPlan, ChaosView, CompiledChaos};
@@ -50,6 +52,9 @@ pub struct Cluster {
     obs: Option<bool>,
     /// Record event-engine scheduler decisions for trace export.
     sched_trace: bool,
+    /// Event-engine dispatch path; `None` defers to `SIMNET_SCHED` (default
+    /// [`SchedMode::Fast`]).
+    sched: Option<SchedMode>,
 }
 
 /// Everything a simulation run produces.
@@ -92,6 +97,7 @@ impl Cluster {
             watchdog_poll: None,
             obs: None,
             sched_trace: false,
+            sched: None,
         }
     }
 
@@ -178,6 +184,14 @@ impl Cluster {
     /// the thread engine, which has no scheduler of its own.
     pub fn with_sched_trace(mut self, on: bool) -> Self {
         self.sched_trace = on;
+        self
+    }
+
+    /// Select the event engine's dispatch path explicitly, overriding
+    /// `SIMNET_SCHED`. [`SchedMode::Classic`] is the kill switch for the
+    /// scheduler fast paths; results are bit-identical either way.
+    pub fn with_sched(mut self, mode: SchedMode) -> Self {
+        self.sched = Some(mode);
         self
     }
 
@@ -351,6 +365,7 @@ impl Cluster {
         let core = Arc::new(EventCore::new(
             self.size,
             workers,
+            self.sched.unwrap_or_else(SchedMode::from_env),
             Some(EngineMetrics::new(registry)),
             self.sched_trace,
         ));

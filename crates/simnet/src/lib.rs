@@ -84,7 +84,7 @@ pub use cluster::{Cluster, SimReport};
 pub use comm::{Comm, Tag};
 pub use cost::Hierarchy;
 pub use cost::{CostModel, WireSize};
-pub use engine::{Engine, SchedEvent, SchedKind};
+pub use engine::{Engine, SchedEvent, SchedKind, SchedMode};
 pub use ledger::{Ledger, LedgerSnapshot, PhaseVolume};
 pub use net::{GroupComm, Net};
 pub use request::{RecvHandle, SendHandle};

@@ -210,15 +210,51 @@ pub fn export_chrome(
         let pid = ranks as u64;
         tb.process_name(pid, "event-engine scheduler");
         tb.process_sort_index(pid, ranks as i64);
+        let (mut grants, mut handoffs, mut elides, mut recv_parks, mut barrier_parks) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
+        let mut t_last = 0.0f64;
         for ev in sched {
             let name = match ev.kind {
-                crate::engine::SchedKind::Grant => "grant",
-                crate::engine::SchedKind::RecvPark => "recv park",
-                crate::engine::SchedKind::BarrierPark => "barrier park",
+                crate::engine::SchedKind::Grant => {
+                    grants += 1;
+                    "grant"
+                }
+                crate::engine::SchedKind::Handoff => {
+                    handoffs += 1;
+                    "handoff"
+                }
+                crate::engine::SchedKind::Elide => {
+                    elides += 1;
+                    "park elided"
+                }
+                crate::engine::SchedKind::RecvPark => {
+                    recv_parks += 1;
+                    "recv park"
+                }
+                crate::engine::SchedKind::BarrierPark => {
+                    barrier_parks += 1;
+                    "barrier park"
+                }
                 crate::engine::SchedKind::Finish => "finish",
             };
+            t_last = t_last.max(ev.vclock);
             tb.instant(pid, 0, name, ev.vclock * US, &[("rank", Arg::U64(ev.rank as u64))]);
         }
+        // One summary annotation at the end of the scheduler track so the
+        // dispatch-path mix is readable without counting instants by hand.
+        tb.instant(
+            pid,
+            0,
+            "sched stats",
+            t_last * US,
+            &[
+                ("grants", Arg::U64(grants)),
+                ("handoffs", Arg::U64(handoffs)),
+                ("parks_elided", Arg::U64(elides)),
+                ("recv_parks", Arg::U64(recv_parks)),
+                ("barrier_parks", Arg::U64(barrier_parks)),
+            ],
+        );
     }
     if !windows.is_empty() {
         let pid = ranks as u64 + 1;

@@ -2,7 +2,7 @@
 //! drop-in for the thread engine, plus event-engine-only regressions (exact
 //! deadlock reports, recv-after-finish, bounded workers).
 
-use simnet::{ChaosPlan, Cluster, CostModel, Engine, LedgerSnapshot, PhaseVolume};
+use simnet::{ChaosPlan, Cluster, CostModel, Engine, LedgerSnapshot, PhaseVolume, SchedMode};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
@@ -248,6 +248,151 @@ fn event_engine_scales_to_many_ranks_with_small_stacks() {
     let want: Vec<usize> = (0..p).map(|r| (r + p - 1) % p).collect();
     assert_eq!(report.results, want);
     assert_eq!(report.ledger.total_elements(), (p * 32) as u64);
+}
+
+/// Run `f` on the event engine under both dispatch paths (`SchedMode::Classic`
+/// is the PR 7 kill switch, `SchedMode::Fast` the handoff/cohort/spin path)
+/// and assert results, clocks, ledgers and virtual-class metrics agree bit for
+/// bit at every worker count. The dispatch path decides only *who runs when on
+/// the host*, never what the simulation computes.
+fn assert_sched_parity<T, F>(mut mk: impl FnMut() -> Cluster, f: F)
+where
+    T: Clone + PartialEq + std::fmt::Debug + Send,
+    F: Fn(&mut simnet::Comm) -> T + Send + Sync + Copy,
+{
+    let size = mk().size();
+    for workers in [1usize, 2, 8] {
+        let classic = mk()
+            .with_obs(true)
+            .with_engine(Engine::Event)
+            .with_workers(workers)
+            .with_sched(SchedMode::Classic)
+            .run(f);
+        let fast = mk()
+            .with_obs(true)
+            .with_engine(Engine::Event)
+            .with_workers(workers)
+            .with_sched(SchedMode::Fast)
+            .run(f);
+        assert_eq!(classic.results, fast.results, "W={workers}: results diverged across paths");
+        assert_eq!(classic.times, fast.times, "W={workers}: clocks diverged across paths");
+        assert_eq!(
+            ledger_canon(&classic.ledger, size),
+            ledger_canon(&fast.ledger, size),
+            "W={workers}: ledgers diverged across paths"
+        );
+        assert_eq!(
+            classic.metrics.parity_view(),
+            fast.metrics.parity_view(),
+            "W={workers}: virtual-class metrics diverged across paths"
+        );
+    }
+}
+
+#[test]
+fn sched_paths_agree_on_messaging_compute_and_barriers() {
+    assert_sched_parity(|| Cluster::new(8, CostModel::aries()), busy_workload);
+}
+
+#[test]
+fn sched_paths_agree_under_a_chaos_plan() {
+    let plan = || {
+        ChaosPlan::new(2024)
+            .straggler(1, 2.0)
+            .straggler_window(3, 1.5, 0.0, 0.5)
+            .degrade_all_links(1.2, 1.5, 0.0, 0.2)
+            .jitter(5e-5)
+            .pause(2, 0.01, 0.05)
+    };
+    assert_sched_parity(|| Cluster::new(6, CostModel::aries()).with_chaos(plan()), busy_workload);
+}
+
+#[test]
+fn fast_path_reports_recv_cycles_exactly() {
+    // The stale-entry machinery (targeted handoffs leave dead heap entries
+    // behind) must not mask a real deadlock: the detector judges emptiness on
+    // live entries only, and the report still walks and names the cycle.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        Cluster::new(3, CostModel::free())
+            .with_engine(Engine::Event)
+            .with_sched(SchedMode::Fast)
+            .run(|comm| {
+                let next = (comm.rank() + 1) % comm.size();
+                let _: Vec<f32> = comm.recv(next, 7);
+            })
+    }));
+    let msg = expect_panic(result, "a recv cycle must fail the run under the fast path");
+    assert!(msg.contains("simnet deadlock (exact)"), "unexpected report: {msg}");
+    assert!(msg.contains("recv cycle:"), "report must name the cycle: {msg}");
+}
+
+#[test]
+fn fast_path_reports_recv_after_finish() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        Cluster::new(2, CostModel::free())
+            .with_engine(Engine::Event)
+            .with_sched(SchedMode::Fast)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let _: Vec<f32> = comm.recv(1, 0);
+                }
+            })
+    }));
+    let msg = expect_panic(result, "recv from a finished rank must fail under the fast path");
+    assert!(msg.contains("already finished and will never send"), "unexpected report: {msg}");
+}
+
+#[test]
+fn fast_path_rejects_send_to_finished_rank() {
+    // The done flag moved to the per-rank inbox on the fast path; the panic
+    // message must stay identical to the classic one.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        Cluster::new(2, CostModel::free())
+            .with_engine(Engine::Event)
+            .with_sched(SchedMode::Fast)
+            .with_workers(1)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let _: Vec<f32> = comm.recv(1, 0);
+                    comm.send(1, 1, vec![1.0f32]);
+                } else {
+                    comm.send(0, 0, vec![0.0f32]);
+                }
+            })
+    }));
+    let msg = expect_panic(result, "send to a finished rank must fail under the fast path");
+    assert!(msg.contains("already finished"), "unexpected message: {msg}");
+}
+
+#[test]
+fn fast_path_survives_the_inline_continue_window() {
+    // Lost-wakeup stress for the claim / `wake_pending` handshake: W=2 keeps
+    // both ranks genuinely concurrent, zero compute makes sends land as often
+    // as possible in the window between the receiver's wait registration and
+    // its park. Any lost wakeup deadlocks (and the exact detector reports it);
+    // any double wake corrupts the token protocol. Thousands of rounds of
+    // bidirectional traffic must come out exact.
+    let iters = 5000usize;
+    let report = Cluster::new(2, CostModel::free())
+        .with_obs(true)
+        .with_engine(Engine::Event)
+        .with_sched(SchedMode::Fast)
+        .with_workers(2)
+        .run(move |comm| {
+            let me = comm.rank();
+            let other = 1 - me;
+            let mut acc = 0u64;
+            for it in 0..iters {
+                comm.send(other, it as u64, vec![(me * iters + it) as f32]);
+                let got: Vec<f32> = comm.recv(other, it as u64);
+                acc = acc.wrapping_mul(31).wrapping_add(got[0] as u64);
+            }
+            acc
+        });
+    let expect = |src: usize| {
+        (0..iters).fold(0u64, |a, it| a.wrapping_mul(31).wrapping_add((src * iters + it) as u64))
+    };
+    assert_eq!(report.results, vec![expect(1), expect(0)]);
 }
 
 /// Unwrap a `catch_unwind` result that must be a panic, as a string message.

@@ -29,5 +29,6 @@ pub use cost::CostProfile;
 pub use hybrid::{HybridConfig, HybridEstimate};
 pub use reducer::{Reducer, Scheme, Update};
 pub use trainer::{
-    run_data_parallel, EvalPoint, IterRecord, OptimizerKind, RunResult, TrainConfig,
+    run_data_parallel, run_data_parallel_chaos, EvalPoint, IterRecord, OptimizerKind, RunResult,
+    TrainConfig,
 };

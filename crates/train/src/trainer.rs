@@ -56,6 +56,10 @@ pub struct TrainConfig {
     /// Weak-scaling harnesses force [`Engine::Event`] above thread-engine
     /// comfort (see `okbench::weak_scaling_panel`).
     pub engine: Option<Engine>,
+    /// Per-rank stack size; `None` keeps the cluster default. The paper-scale
+    /// sweeps (P up to 4096 ranks in one process) shrink this so rank stacks
+    /// stay a bounded share of the address space.
+    pub stack_bytes: Option<usize>,
     /// Record per-rank activity traces, structured spans and (event engine)
     /// scheduler decisions for Chrome-trace export; see `RunResult::traces`.
     pub profile: bool,
@@ -77,6 +81,7 @@ impl TrainConfig {
             eval_every: 0,
             measure_xi_every: 0,
             engine: None,
+            stack_bytes: None,
             profile: false,
         }
     }
@@ -194,6 +199,26 @@ where
     FM: Fn() -> M + Send + Sync,
     FB: Fn(u64, usize, usize) -> M::Batch + Send + Sync,
 {
+    run_data_parallel_chaos(p, cfg, None, make_model, make_batch, eval_batches)
+}
+
+/// [`run_data_parallel`] with an optional chaos plan applied to the cluster —
+/// the paper-scale robustness legs train under perturbed link/compute timing
+/// while everything else (determinism per plan, instrumentation) is unchanged.
+pub fn run_data_parallel_chaos<M, FM, FB>(
+    p: usize,
+    cfg: &TrainConfig,
+    chaos: Option<simnet::ChaosPlan>,
+    make_model: FM,
+    make_batch: FB,
+    eval_batches: &[M::Batch],
+) -> RunResult
+where
+    M: Model,
+    M::Batch: Sync,
+    FM: Fn() -> M + Send + Sync,
+    FB: Fn(u64, usize, usize) -> M::Batch + Send + Sync,
+{
     // Rescale fixed costs (latency, kernel launches) to this model's size so the
     // experiment sits in the paper's bandwidth-dominated regime (see cost.rs).
     let n = make_model().num_params();
@@ -203,6 +228,12 @@ where
     let mut cluster = Cluster::new(p, cfg.cost.network());
     if let Some(engine) = cfg.engine {
         cluster = cluster.with_engine(engine);
+    }
+    if let Some(bytes) = cfg.stack_bytes {
+        cluster = cluster.with_stack_bytes(bytes);
+    }
+    if let Some(plan) = chaos {
+        cluster = cluster.with_chaos(plan);
     }
     if cfg.profile {
         cluster = cluster.with_sched_trace(true);

@@ -5,7 +5,7 @@
 //! `Engine::Event` — clean and under a chaos plan. Host-class metrics (pool
 //! behavior, scheduler token traffic, wall time) are exempt by design.
 
-use simnet::{ChaosPlan, Cluster, Engine};
+use simnet::{ChaosPlan, Cluster, Engine, SchedMode};
 use train::{CostProfile, Reducer, Scheme, Update};
 
 /// Deterministic pseudo-gradient: a fixed function of (rank, iter, index).
@@ -26,10 +26,22 @@ fn run_once(
     engine: Engine,
     chaos: bool,
 ) -> (Vec<f64>, Vec<(String, Vec<u64>)>, Vec<f64>) {
+    run_once_sched(scheme, engine, chaos, None)
+}
+
+fn run_once_sched(
+    scheme: Scheme,
+    engine: Engine,
+    chaos: bool,
+    sched: Option<SchedMode>,
+) -> (Vec<f64>, Vec<(String, Vec<u64>)>, Vec<f64>) {
     let p = 4;
     let n = 512;
     let cost = CostProfile::paper_calibrated();
     let mut cluster = Cluster::new(p, cost.network()).with_obs(true).with_engine(engine);
+    if let Some(mode) = sched {
+        cluster = cluster.with_sched(mode);
+    }
     if chaos {
         let plan = ChaosPlan::new(11)
             .straggler(1, 1.6)
@@ -78,6 +90,34 @@ fn all_seven_schemes_have_metric_parity_clean() {
 fn all_seven_schemes_have_metric_parity_under_chaos() {
     for scheme in Scheme::all() {
         assert_scheme_parity(scheme, true);
+    }
+}
+
+/// The event engine's two dispatch paths (`SIMNET_SCHED=classic|fast`) must be
+/// as interchangeable as the engines themselves: bit-identical gradients,
+/// clocks and Virtual-class metrics for every scheme, clean and under chaos.
+fn assert_sched_parity(scheme: Scheme, chaos: bool) {
+    let (c_clocks, c_metrics, c_results) =
+        run_once_sched(scheme, Engine::Event, chaos, Some(SchedMode::Classic));
+    let (f_clocks, f_metrics, f_results) =
+        run_once_sched(scheme, Engine::Event, chaos, Some(SchedMode::Fast));
+    let label = scheme.name();
+    assert_eq!(c_results, f_results, "{label}: results diverged across sched paths");
+    assert_eq!(c_clocks, f_clocks, "{label}: clocks diverged across sched paths");
+    assert_eq!(c_metrics, f_metrics, "{label}: virtual metrics diverged across sched paths");
+}
+
+#[test]
+fn all_seven_schemes_have_sched_path_parity_clean() {
+    for scheme in Scheme::all() {
+        assert_sched_parity(scheme, false);
+    }
+}
+
+#[test]
+fn all_seven_schemes_have_sched_path_parity_under_chaos() {
+    for scheme in Scheme::all() {
+        assert_sched_parity(scheme, true);
     }
 }
 

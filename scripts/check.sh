@@ -19,12 +19,18 @@
 #   repeated chaos run is not bit-identical.
 # - scale checks thread/event engine bit-parity at P=32, then fails the script
 #   if the event engine cannot run Ok-Topk at P=1024 inside its wall/memory
-#   budget, or if the thread engine *can* keep within 1.25x of the event
-#   engine's wall there (the virtual-time scheduler must be what buys P>=1024).
+#   budget, if the P=2048 headline misses its 30 s budget (>= 1.5x over the
+#   PR 7 baseline) or reports a zero scheduler handoff rate, or if the thread
+#   engine *can* keep within 1.25x of the event engine's wall at P=1024 (the
+#   virtual-time scheduler must be what buys P>=1024). The thread probe skips
+#   cleanly on hosts that cannot spawn that many OS threads.
+# - fig10 --paper-axis sweeps the weak-scaling axis to P=4096 on the event
+#   engine (clean + one chaos cell) under a hard wall budget; fig8/fig12 run
+#   the same sweep with CHECK_PAPER_AXIS=1.
 #
 # Quick numbers go to target/*-gate.json so they never overwrite the checked-in
-# full-run BENCH_PR6.json / BENCH_PR4.json / BENCH_PR5.json / BENCH_PR7.json;
-# regenerate those with
+# full-run BENCH_PR6.json / BENCH_PR4.json / BENCH_PR5.json / BENCH_PR7.json /
+# BENCH_PR9.json; regenerate those with
 #   cargo run --release -p okbench --bin hotpath
 #   cargo run --release -p okbench --bin msgpath
 #   cargo run --release -p okbench --bin chaos
@@ -56,6 +62,14 @@ echo "== tests (event engine: SIMNET_ENGINE=event) =="
 # default so the whole stack exercises the parked-continuation path.
 SIMNET_ENGINE=event cargo test -q --workspace
 
+echo "== tests (classic scheduler: SIMNET_SCHED=classic) =="
+# The event engine's fast dispatch path (direct handoff, cohort wakeups,
+# adaptive spin) promises bit-identical behaviour to the classic
+# lock/condvar path; re-run the simnet-driven suites with the event engine
+# as default and the classic scheduler pinned so the kill-switch fallback
+# never rots.
+SIMNET_ENGINE=event SIMNET_SCHED=classic cargo test -q -p simnet -p okpar -p train -p okbench
+
 echo "== tests (observability off: OKTOPK_OBS=off) =="
 # The obs kill switch promises zero behavioural difference: every result,
 # clock and ledger must be unchanged with the metrics registry disabled.
@@ -76,7 +90,20 @@ cargo run --release -p okbench --bin msgpath -- --quick --gate --out target/msgp
 echo "== chaos robustness smoke (P=4, gated) =="
 cargo run --release -p okbench --bin chaos -- --gate --out target/chaos-gate.json
 
-echo "== scale sweep smoke (P=1024, gated) =="
+echo "== scale sweep smoke (P=1024 budget + P=2048 headline, gated) =="
 cargo run --release -p okbench --bin scale -- --gate --out target/scale-gate.json
+
+echo "== paper-axis weak scaling to P=4096 (fig10, budgeted) =="
+# The fig8/10/12 harnesses sweep the paper's full 256-4096 cluster axis on
+# the event engine with --paper-axis (clean + one chaos cell at P=4096).
+# The default gate runs the cheapest of the three (fig10's LSTM stand-in,
+# ~3 min single-core) under a hard wall budget; fig8 and fig12 carry larger
+# models (~12 min each) and run under the same budget with CHECK_PAPER_AXIS=1
+# (measured walls in EXPERIMENTS.md).
+timeout 900 cargo run --release -p okbench --bin fig10 -- --paper-axis
+if [[ "${CHECK_PAPER_AXIS:-0}" == "1" ]]; then
+  timeout 900 cargo run --release -p okbench --bin fig8 -- --paper-axis
+  timeout 900 cargo run --release -p okbench --bin fig12 -- --paper-axis
+fi
 
 echo "OK: all gates passed"
