@@ -34,14 +34,22 @@ fn reselect(g: &CooGradient, k: usize) -> CooGradient {
     CooGradient::from_sorted(idx, val)
 }
 
-/// gTopk sparse allreduce: reduction tree with per-level top-k re-selection, then a
-/// binomial broadcast of the result. Every rank returns the same ≤k-sparse gradient.
-pub fn gtopk_allreduce<C: Net>(comm: &mut C, local: CooGradient, k: usize) -> CooGradient {
-    comm.set_phase("gtopk");
+/// The reduction-tree phase of gTopk: merge pairs with top-k re-selection until
+/// rank 0 holds the final ≤k-sparse selection. Returns `Some` on rank 0, `None`
+/// everywhere else.
+///
+/// Exposed separately so hierarchical schemes can run the tree *within a node
+/// group* (leaving the result at the node leader) without paying for the
+/// broadcast that [`gtopk_allreduce`] appends.
+pub fn gtopk_reduce_to_root<C: Net>(
+    comm: &mut C,
+    local: CooGradient,
+    k: usize,
+) -> Option<CooGradient> {
     let p = comm.size();
     let rank = comm.rank();
     if p == 1 {
-        return reselect(&local, k);
+        return Some(reselect(&local, k));
     }
 
     let mut data = local;
@@ -52,6 +60,7 @@ pub fn gtopk_allreduce<C: Net>(comm: &mut C, local: CooGradient, k: usize) -> Co
     let m = if p.is_power_of_two() { p } else { 1 << (usize::BITS - 1 - p.leading_zeros()) };
     if rank >= m {
         comm.send(rank - m, TAG_GTOPK, std::mem::take(&mut data).into_parts());
+        return None;
     } else if rank + m < p {
         let (idx, val): (Vec<u32>, Vec<f32>) = comm.recv(rank + m, TAG_GTOPK);
         let got = CooGradient::from_sorted(idx, val);
@@ -59,23 +68,29 @@ pub fn gtopk_allreduce<C: Net>(comm: &mut C, local: CooGradient, k: usize) -> Co
     }
 
     // Binary reduction tree over the first m ranks.
-    if rank < m {
-        let mut dist = 1;
-        while dist < m {
-            if rank & (2 * dist - 1) == dist {
-                comm.send(rank - dist, TAG_GTOPK, std::mem::take(&mut data).into_parts());
-                break; // this rank's role in the reduction is done
-            } else if rank & (2 * dist - 1) == 0 {
-                let (idx, val): (Vec<u32>, Vec<f32>) = comm.recv(rank + dist, TAG_GTOPK);
-                let got = CooGradient::from_sorted(idx, val);
-                data = reselect(&data.merge_sum(&got), k);
-            }
-            dist *= 2;
+    let mut dist = 1;
+    while dist < m {
+        if rank & (2 * dist - 1) == dist {
+            comm.send(rank - dist, TAG_GTOPK, std::mem::take(&mut data).into_parts());
+            return None; // this rank's role in the reduction is done
+        } else if rank & (2 * dist - 1) == 0 {
+            let (idx, val): (Vec<u32>, Vec<f32>) = comm.recv(rank + dist, TAG_GTOPK);
+            let got = CooGradient::from_sorted(idx, val);
+            data = reselect(&data.merge_sum(&got), k);
         }
+        dist *= 2;
     }
 
+    debug_assert_eq!(rank, 0);
+    Some(data)
+}
+
+/// gTopk sparse allreduce: reduction tree with per-level top-k re-selection, then a
+/// binomial broadcast of the result. Every rank returns the same ≤k-sparse gradient.
+pub fn gtopk_allreduce<C: Net>(comm: &mut C, local: CooGradient, k: usize) -> CooGradient {
+    comm.set_phase("gtopk");
+    let root_value = gtopk_reduce_to_root(comm, local, k);
     // Broadcast the final selection from rank 0 to everyone (all P ranks).
-    let root_value = if rank == 0 { Some(data) } else { None };
     broadcast(comm, 0, root_value)
 }
 

@@ -1,0 +1,301 @@
+//! Hierarchical (two-tier) collectives: intra-node reduce → inter-node exchange
+//! among node leaders → intra-node broadcast.
+//!
+//! On a real cluster the links inside a node (NVLink, shared memory) are orders
+//! of magnitude faster than the network between nodes, and the inter-node
+//! fabric is often oversubscribed. A flat collective sends the same traffic
+//! over both tiers; the hierarchical decomposition confines all but one
+//! node-sized exchange to the fast tier, so inter-node volume and round count
+//! drop from `f(P)` to `f(P / ranks_per_node)`.
+//!
+//! Group mechanics: each node's ranks `[node·rpn, min((node+1)·rpn, P))` form a
+//! [`GroupComm`] whose group id is the node index; the node *leaders* (global
+//! rank `node·rpn`, group-local rank 0) form a second group with the reserved
+//! id [`LEADER_GROUP`]. With `rpn = 1` every rank is its own leader and each
+//! algorithm degenerates to its flat counterpart — that is the behaviour on a
+//! cluster with no topology installed.
+
+use crate::dense::{allreduce_inplace, broadcast, reduce_scatter_block};
+use crate::gtopk::{gtopk_allreduce, gtopk_reduce_to_root};
+use simnet::{Comm, GroupComm, Net};
+use sparse::CooGradient;
+
+/// Tag for gathering reduce-scattered shards at the node leader.
+const TAG_HIER_GATHER: u64 = 0x41;
+
+/// Reserved [`GroupComm`] id of the inter-node leader group. Node groups use
+/// their node index as id, so node counts must stay below this value.
+pub const LEADER_GROUP: u16 = 0xFFFF;
+
+/// The effective ranks-per-node for hierarchical schemes on `comm`: the
+/// installed topology's grouping clamped to the cluster size, or 1 when no
+/// topology is installed (every rank its own leader — the flat degeneration).
+pub fn ranks_per_node(comm: &Comm) -> usize {
+    comm.topology().map_or(1, |t| t.ranks_per_node()).clamp(1, comm.size())
+}
+
+/// This rank's node index and the global ranks of its node group.
+fn node_group(rank: usize, size: usize, rpn: usize) -> (usize, Vec<usize>) {
+    let node = rank / rpn;
+    let lo = node * rpn;
+    (node, (lo..(lo + rpn).min(size)).collect())
+}
+
+/// Global ranks of the node leaders (first rank of every node).
+fn leaders(size: usize, rpn: usize) -> Vec<usize> {
+    (0..size).step_by(rpn).collect()
+}
+
+/// Dense sum-reduce to rank 0 of `comm`: reduce-scatter, then gather the
+/// fully-reduced shards at the root. On return rank 0's `data` holds the
+/// communicator-wide sum; other ranks' buffers hold partial sums (clobbered).
+///
+/// This is the intra-node phase of the hierarchical schemes, exposed so
+/// Ok-Topk's hierarchical variant can leave the node sum at the leader for a
+/// single re-selection instead of paying a full intra-node allreduce.
+pub fn reduce_to_root_dense<C: Net>(comm: &mut C, data: &mut [f32]) {
+    let gsize = comm.size();
+    if gsize == 1 {
+        return;
+    }
+    let n = data.len();
+    let (offset, mine) = reduce_scatter_block(comm, data);
+    if comm.rank() == 0 {
+        data[offset..offset + mine.len()].copy_from_slice(&mine);
+        for src in 1..gsize {
+            // Shard boundaries are the deterministic equal partition, so only
+            // the payload travels.
+            let lo = n * src / gsize;
+            let got: Vec<f32> = comm.recv(src, TAG_HIER_GATHER);
+            data[lo..lo + got.len()].copy_from_slice(&got);
+            comm.recycle_f32(got);
+        }
+    } else {
+        comm.send(0, TAG_HIER_GATHER, mine);
+    }
+}
+
+/// Hierarchical dense sum-allreduce: intra-node reduce-scatter + gather at the
+/// leader, leader-group allreduce, intra-node broadcast.
+///
+/// `data` must have the same length on every rank; afterwards every rank holds
+/// the global sum. With `rpn = 1` this is exactly [`allreduce_inplace`].
+pub fn hier_dense_allreduce<C: Net>(comm: &mut C, data: &mut [f32], rpn: usize) {
+    let size = comm.size();
+    let rank = comm.rank();
+    let rpn = rpn.clamp(1, size);
+    if rpn == 1 || size == 1 {
+        return allreduce_inplace(comm, data);
+    }
+    comm.set_phase("hier-dense");
+    let (node, members) = node_group(rank, size, rpn);
+    assert!(size.div_ceil(rpn) < LEADER_GROUP as usize, "node count exceeds group-id space");
+
+    // Phase 1 (intra): reduce-scatter the node sum across the node group, then
+    // gather the shards at the leader. Bandwidth-optimal on the fast tier and
+    // leaves the leader with the full node-local sum.
+    {
+        let mut g = GroupComm::new(comm, members.clone(), node as u16);
+        reduce_to_root_dense(&mut g, data);
+    }
+
+    // Phase 2 (inter): leaders allreduce their node sums over the slow tier.
+    if rank == members[0] {
+        let mut g = GroupComm::new(comm, leaders(size, rpn), LEADER_GROUP);
+        allreduce_inplace(&mut g, data);
+    }
+
+    // Phase 3 (intra): leader broadcasts the global sum within its node.
+    let mut g = GroupComm::new(comm, members, node as u16);
+    let v = if Net::rank(&g) == 0 { Some(data.to_vec()) } else { None };
+    let out = broadcast(&mut g, 0, v);
+    if Net::rank(&g) != 0 {
+        data.copy_from_slice(&out);
+    }
+}
+
+/// Hierarchical gTopk sparse allreduce: intra-node reduction tree with top-k
+/// re-selection (result at the node leader), leader-group [`gtopk_allreduce`],
+/// intra-node broadcast of the global selection.
+///
+/// Every rank returns the same ≤k-sparse gradient. The re-selection tree is the
+/// same merge rule as flat gTopk, only regrouped so `log(rpn)` of its levels run
+/// on the fast tier and `log(nodes)` on the slow one. With `rpn = 1` this is
+/// exactly [`gtopk_allreduce`].
+pub fn hier_gtopk_allreduce<C: Net>(
+    comm: &mut C,
+    local: CooGradient,
+    k: usize,
+    rpn: usize,
+) -> CooGradient {
+    let size = comm.size();
+    let rank = comm.rank();
+    let rpn = rpn.clamp(1, size);
+    if rpn == 1 || size == 1 {
+        return gtopk_allreduce(comm, local, k);
+    }
+    comm.set_phase("hier-gtopk");
+    let (node, members) = node_group(rank, size, rpn);
+    assert!(size.div_ceil(rpn) < LEADER_GROUP as usize, "node count exceeds group-id space");
+
+    // Phase 1 (intra): tree-reduce with re-selection; the leader (group rank 0)
+    // ends up holding the node's top-k.
+    let node_topk = {
+        let mut g = GroupComm::new(comm, members.clone(), node as u16);
+        gtopk_reduce_to_root(&mut g, local, k)
+    };
+
+    // Phase 2 (inter): leaders run the flat gTopk allreduce among themselves.
+    let result = if rank == members[0] {
+        let mut g = GroupComm::new(comm, leaders(size, rpn), LEADER_GROUP);
+        let mine = node_topk.expect("leader holds its node's reduction");
+        Some(gtopk_allreduce(&mut g, mine, k))
+    } else {
+        None
+    };
+
+    // Phase 3 (intra): leader broadcasts the global selection within its node.
+    comm.set_phase("hier-gtopk");
+    let mut g = GroupComm::new(comm, members, node as u16);
+    broadcast(&mut g, 0, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use simnet::{Cluster, CostModel, Topology};
+    use sparse::select::topk_exact;
+
+    fn make_inputs(p: usize, n: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..p).map(|_| (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+    }
+
+    fn reference_sum(inputs: &[Vec<f32>]) -> Vec<f32> {
+        let mut sum = vec![0.0f32; inputs[0].len()];
+        for v in inputs {
+            for (s, x) in sum.iter_mut().zip(v) {
+                *s += x;
+            }
+        }
+        sum
+    }
+
+    #[test]
+    fn hier_dense_matches_reference_across_shapes() {
+        // Pow2 and non-pow2 cluster sizes, full and partial last nodes.
+        for (p, rpn) in [(4usize, 2usize), (8, 2), (8, 4), (6, 4), (7, 2), (8, 8), (8, 1)] {
+            let n = 103;
+            let inputs = make_inputs(p, n, 17 + p as u64 + rpn as u64);
+            let expect = reference_sum(&inputs);
+            let report = Cluster::new(p, CostModel::aries()).run(move |comm| {
+                let mut data = inputs[comm.rank()].clone();
+                hier_dense_allreduce(comm, &mut data, rpn);
+                data
+            });
+            for (rank, got) in report.results.iter().enumerate() {
+                for (g, e) in got.iter().zip(&expect) {
+                    assert!((g - e).abs() < 1e-4, "p={p} rpn={rpn} rank={rank}: {g} vs {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hier_dense_all_ranks_agree_bitwise() {
+        let (p, rpn, n) = (8, 4, 64);
+        let inputs = make_inputs(p, n, 5);
+        let report = Cluster::new(p, CostModel::aries()).run(move |comm| {
+            let mut data = inputs[comm.rank()].clone();
+            hier_dense_allreduce(comm, &mut data, rpn);
+            data
+        });
+        for got in &report.results[1..] {
+            assert_eq!(got, &report.results[0]);
+        }
+    }
+
+    fn random_topk(p: usize, n: usize, k: usize, seed: u64) -> Vec<CooGradient> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..p)
+            .map(|_| {
+                let dense: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                topk_exact(&dense, k)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hier_gtopk_identical_supports_give_exact_sum() {
+        // Fully overlapping supports lose nothing to re-selection at any tier split.
+        for rpn in [1usize, 2, 4] {
+            let p = 8;
+            let base = CooGradient::from_sorted(vec![2, 7, 40], vec![0.5, -1.0, 2.0]);
+            let report = Cluster::new(p, CostModel::free())
+                .run(move |comm| hier_gtopk_allreduce(comm, base.clone(), 3, rpn));
+            for got in &report.results {
+                assert_eq!(got.indexes(), &[2, 7, 40], "rpn={rpn}");
+                assert_eq!(got.values(), &[4.0, -8.0, 16.0], "rpn={rpn}");
+            }
+        }
+    }
+
+    #[test]
+    fn hier_gtopk_agrees_and_bounds_nnz() {
+        for (p, rpn) in [(8usize, 2usize), (8, 4), (6, 4), (12, 4)] {
+            let (n, k) = (500, 16);
+            let locals = random_topk(p, n, k, 23);
+            let report = Cluster::new(p, CostModel::aries())
+                .run(move |comm| hier_gtopk_allreduce(comm, locals[comm.rank()].clone(), k, rpn));
+            for got in &report.results[1..] {
+                assert_eq!(got, &report.results[0], "p={p} rpn={rpn}");
+            }
+            assert!(report.results[0].nnz() <= k);
+        }
+    }
+
+    #[test]
+    fn hier_gtopk_rpn1_is_flat_gtopk_bitwise() {
+        let (p, n, k) = (8, 400, 24);
+        let locals = random_topk(p, n, k, 31);
+        let l2 = locals.clone();
+        let flat = Cluster::new(p, CostModel::aries())
+            .run(move |comm| gtopk_allreduce(comm, locals[comm.rank()].clone(), k));
+        let hier = Cluster::new(p, CostModel::aries())
+            .run(move |comm| hier_gtopk_allreduce(comm, l2[comm.rank()].clone(), k, 1));
+        assert_eq!(flat.results, hier.results);
+    }
+
+    #[test]
+    fn hier_dense_cuts_inter_node_traffic() {
+        // Under a two-tier topology the hierarchical variant must move fewer
+        // bytes over inter-node links than the flat allreduce.
+        let (p, rpn, n) = (8usize, 4usize, 1 << 12);
+        let topo = Topology::two_tier(rpn, (1e-6, 1e-9), (25e-6, 8e-9));
+        let inter = |topo: Topology, hier: bool| -> u64 {
+            let inputs = make_inputs(p, n, 9);
+            let report = Cluster::new(p, CostModel::aries())
+                .with_topology(topo)
+                .with_obs(true)
+                .run(move |comm| {
+                    let mut data = inputs[comm.rank()].clone();
+                    if hier {
+                        hier_dense_allreduce(comm, &mut data, rpn);
+                    } else {
+                        allreduce_inplace(comm, &mut data);
+                    }
+                });
+            match report.metrics.get("net.inter_bytes") {
+                Some(obs::MetricValue::PerRankU64(v)) => v.iter().sum(),
+                other => panic!("missing inter_bytes counter: {other:?}"),
+            }
+        };
+        let flat_bytes = inter(topo.clone(), false);
+        let hier_bytes = inter(topo, true);
+        assert!(
+            hier_bytes < flat_bytes / 2,
+            "hier moved {hier_bytes} inter-node bytes vs flat {flat_bytes}"
+        );
+    }
+}

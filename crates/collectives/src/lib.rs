@@ -18,6 +18,9 @@
 //!   reproduced.
 //! - [`gtopk`]: the gTopk reduction-tree/broadcast-tree allreduce with hierarchical
 //!   top-k re-selection at every level (`4k·log P` volume).
+//! - [`hier`]: two-tier hierarchical variants (intra-node reduce → inter-node
+//!   leader exchange → intra-node broadcast) that confine most traffic to the
+//!   fast intra-node tier of a [`simnet::Topology`].
 //!
 //! All algorithms move real data over [`simnet`] and are tested against serial
 //! references; their measured traffic (from the simnet ledger) is compared against
@@ -25,6 +28,7 @@
 
 pub mod dense;
 pub mod gtopk;
+pub mod hier;
 pub mod quantized;
 pub mod topk_a;
 pub mod topk_dsa;
@@ -33,7 +37,8 @@ pub use dense::{
     allgather_items, allreduce_inplace, allreduce_overlapped, allreduce_sum_f64, alltoallv,
     broadcast, reduce_scatter_block,
 };
-pub use gtopk::gtopk_allreduce;
+pub use gtopk::{gtopk_allreduce, gtopk_reduce_to_root};
+pub use hier::{hier_dense_allreduce, hier_gtopk_allreduce, ranks_per_node, reduce_to_root_dense};
 pub use quantized::quantized_allgather_allreduce;
 pub use topk_a::topk_allgather_allreduce;
 pub use topk_dsa::{dsa_allreduce, DsaOutput, DsaStats};

@@ -15,6 +15,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use topo::Topology;
 
 /// A simulated cluster of `size` ranks governed by one [`CostModel`].
 ///
@@ -55,6 +56,10 @@ pub struct Cluster {
     /// Event-engine dispatch path; `None` defers to `SIMNET_SCHED` (default
     /// [`SchedMode::Fast`]).
     sched: Option<SchedMode>,
+    /// Two-tier topology consulted at every link-charging point and by the
+    /// hierarchical collectives. Defaults to `SIMNET_TOPO` (shape-only, so the
+    /// session default never shifts modeled clocks); `None` is a flat network.
+    topo: Option<Arc<Topology>>,
 }
 
 /// Everything a simulation run produces.
@@ -98,7 +103,23 @@ impl Cluster {
             obs: None,
             sched_trace: false,
             sched: None,
+            topo: Topology::from_env().map(|t| Arc::new(*t)),
         }
+    }
+
+    /// Install a [`Topology`]: ranks are grouped onto nodes and, when the
+    /// topology carries tier parameters, every message is charged the α/β of
+    /// its tier (intra- vs inter-node, oversubscription folded into the
+    /// inter-node β) instead of the flat cost model. The effective β still
+    /// rides each envelope, so sender and receiver charge identically and
+    /// chaos per-link degradation composes multiplicatively on top, exactly
+    /// as it does on a flat network. Shape-only topologies
+    /// ([`Topology::nodes_of`], or the `SIMNET_TOPO` session default) are
+    /// timing-neutral: they only affect grouping and the `net.intra_bytes` /
+    /// `net.inter_bytes` tier accounting.
+    pub fn with_topology(mut self, topo: Topology) -> Self {
+        self.topo = Some(Arc::new(topo));
+        self
     }
 
     /// Install a [`ChaosPlan`]: every subsequent [`run`](Self::run) charges
@@ -301,6 +322,7 @@ impl Cluster {
                 let metrics = metrics.clone();
                 let poisoned = Arc::clone(&poisoned);
                 let view = compiled.as_ref().map(|c| ChaosView::new(Arc::clone(c), rank));
+                let topo = self.topo.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("rank-{rank}"))
                     .stack_size(self.stack_bytes)
@@ -322,6 +344,7 @@ impl Cluster {
                                 budget,
                                 view,
                                 metrics,
+                                topo,
                             );
                             let r = f(&mut comm);
                             (r, comm.local_finish_time())
@@ -382,6 +405,7 @@ impl Cluster {
                 let budget = Arc::clone(&budget);
                 let metrics = metrics.clone();
                 let view = compiled.as_ref().map(|c| ChaosView::new(Arc::clone(c), rank));
+                let topo = self.topo.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("rank-{rank}"))
                     .stack_size(self.stack_bytes)
@@ -397,6 +421,7 @@ impl Cluster {
                                 budget,
                                 view,
                                 metrics,
+                                topo,
                             );
                             let r = f(&mut comm);
                             (r, comm.local_finish_time())
@@ -720,5 +745,146 @@ mod tests {
         assert_eq!(a.results, b.results);
         assert_eq!(a.times, b.times);
         assert_eq!(a.ledger.total_elements(), b.ledger.total_elements());
+    }
+
+    #[test]
+    fn topology_charges_links_by_tier() {
+        // 4 ranks, 2 per node; 0→1 is intra (fast), 0→2 inter (slow).
+        let cost = CostModel { alpha: 9.0, beta: 9.0, hierarchy: None }; // must be superseded
+        let topo = Topology::two_tier(2, (0.1, 0.01), (1.0, 0.1));
+        let run = |dst: usize| {
+            Cluster::new(4, cost).with_topology(topo.clone()).run(move |comm| {
+                if comm.rank() == 0 {
+                    comm.send(dst, 0, vec![0.0f32; 10]);
+                    0.0
+                } else if comm.rank() == dst {
+                    let _: Vec<f32> = comm.recv(0, 0);
+                    comm.now()
+                } else {
+                    0.0
+                }
+            })
+        };
+        // Intra: α + β·L = 0.1 + 0.01·10 = 0.2.
+        assert!((run(1).results[1] - 0.2).abs() < 1e-12);
+        // Inter: 1.0 + 0.1·10 = 2.0.
+        assert!((run(2).results[2] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversubscription_multiplies_inter_beta_at_the_charging_point() {
+        let cost = CostModel::free();
+        let topo = Topology::two_tier(2, (0.0, 0.01), (0.0, 0.1)).with_oversubscription(4.0);
+        let report = Cluster::new(4, cost).with_topology(topo).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(2, 0, vec![0.0f32; 10]);
+                0.0
+            } else if comm.rank() == 2 {
+                let _: Vec<f32> = comm.recv(0, 0);
+                comm.now() // 4 × 0.1 × 10 = 4.0
+            } else {
+                0.0
+            }
+        });
+        assert!((report.results[2] - 4.0).abs() < 1e-12, "{}", report.results[2]);
+    }
+
+    #[test]
+    fn shape_only_topology_is_timing_neutral() {
+        // The SIMNET_TOPO session default installs a shape-only topology; it
+        // must never move modeled clocks relative to no topology at all.
+        let cost = CostModel { alpha: 1.0, beta: 0.1, hierarchy: None };
+        let work = |comm: &mut Comm| {
+            for dst in 0..comm.size() {
+                if dst != comm.rank() {
+                    comm.send(dst, 0, vec![0.0f32; comm.rank() + 3]);
+                }
+            }
+            for src in 0..comm.size() {
+                if src != comm.rank() {
+                    let _: Vec<f32> = comm.recv(src, 0);
+                }
+            }
+            comm.barrier();
+            comm.now()
+        };
+        let flat = Cluster::new(4, cost).run(|c| work(c));
+        let shaped = Cluster::new(4, cost).with_topology(Topology::nodes_of(2)).run(|c| work(c));
+        assert_eq!(flat.results, shaped.results);
+        assert_eq!(flat.times, shaped.times);
+    }
+
+    #[test]
+    fn topology_composes_with_chaos_link_degradation() {
+        // Chaos multipliers apply to the topology-resolved β, and the effective
+        // β rides the envelope so the receiver charges identically.
+        use chaos::ChaosPlan;
+        let cost = CostModel::free();
+        let topo = Topology::two_tier(2, (0.0, 0.01), (0.5, 0.1));
+        let plan = ChaosPlan::new(3).degrade_all_links(2.0, 3.0, 0.0, f64::MAX);
+        let report = Cluster::new(4, cost).with_topology(topo).with_chaos(plan).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(2, 0, vec![0.0f32; 10]);
+                0.0
+            } else if comm.rank() == 2 {
+                let _: Vec<f32> = comm.recv(0, 0);
+                comm.now() // α·2 + β·3·L = 1.0 + 0.1·3·10 = 4.0
+            } else {
+                0.0
+            }
+        });
+        assert!((report.results[2] - 4.0).abs() < 1e-12, "{}", report.results[2]);
+    }
+
+    #[test]
+    fn tier_byte_counters_split_traffic_by_node() {
+        let topo = Topology::nodes_of(2);
+        let report =
+            Cluster::new(4, CostModel::aries()).with_topology(topo).with_obs(true).run(|comm| {
+                // Rank 0 sends 10 elems intra (→1) and 20 elems inter (→2).
+                match comm.rank() {
+                    0 => {
+                        comm.send(1, 0, vec![0.0f32; 10]);
+                        comm.send(2, 0, vec![0.0f32; 20]);
+                    }
+                    1 => {
+                        let _: Vec<f32> = comm.recv(0, 0);
+                    }
+                    2 => {
+                        let _: Vec<f32> = comm.recv(0, 0);
+                    }
+                    _ => {}
+                }
+                comm.barrier();
+            });
+        let get = |name: &str| match report.metrics.get(name) {
+            Some(obs::MetricValue::PerRankU64(v)) => v.clone(),
+            other => panic!("missing {name}: {other:?}"),
+        };
+        assert_eq!(get("net.intra_bytes")[0], 40);
+        assert_eq!(get("net.inter_bytes")[0], 80);
+        // Single-rank nodes (the flat-network degenerate shape, pinned so a
+        // SIMNET_TOPO session default cannot regroup it): all bytes are inter.
+        let flat = Cluster::new(2, CostModel::aries())
+            .with_topology(Topology::nodes_of(1))
+            .with_obs(true)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 0, vec![0.0f32; 5]);
+                } else {
+                    let _: Vec<f32> = comm.recv(0, 0);
+                }
+                comm.barrier();
+            });
+        let intra = match flat.metrics.get("net.intra_bytes") {
+            Some(obs::MetricValue::PerRankU64(v)) => v.iter().sum::<u64>(),
+            _ => panic!("missing net.intra_bytes"),
+        };
+        let inter = match flat.metrics.get("net.inter_bytes") {
+            Some(obs::MetricValue::PerRankU64(v)) => v.iter().sum::<u64>(),
+            _ => panic!("missing net.inter_bytes"),
+        };
+        assert_eq!(intra, 0);
+        assert_eq!(inter, 20);
     }
 }

@@ -22,6 +22,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use topo::Topology;
 
 /// Message tag, used to match sends with receives (like an MPI tag).
 pub type Tag = u64;
@@ -183,6 +184,13 @@ pub(crate) struct SimMetrics {
     chaos_pause: obs::Counter,
     /// Row-major `P·P` sent-byte matrix; only for P ≤ [`LINK_MATRIX_MAX_RANKS`].
     link_bytes: Option<obs::RankU64>,
+    /// Per-rank bytes sent over intra-node links (topology-classified). Unlike
+    /// the `P·P` matrix these tier aggregates are O(P) and recorded at any P.
+    intra_bytes: obs::RankU64,
+    /// Per-rank bytes sent over inter-node links. With no topology installed
+    /// every link is inter-node fabric by convention, so this equals
+    /// `sim.tx_bytes` on a flat network.
+    inter_bytes: obs::RankU64,
     /// Buffer-pool behavior (Host class: reservation outcomes may depend on
     /// cross-rank interleaving through the shared [`PoolBudget`]).
     pool_hit: obs::Counter,
@@ -212,6 +220,8 @@ impl SimMetrics {
             chaos_pause: reg.counter("chaos.pause", Virtual),
             link_bytes: (ranks <= LINK_MATRIX_MAX_RANKS)
                 .then(|| reg.slots_u64("sim.link_bytes", Virtual, ranks * ranks)),
+            intra_bytes: reg.slots_u64("net.intra_bytes", Virtual, ranks),
+            inter_bytes: reg.slots_u64("net.inter_bytes", Virtual, ranks),
             pool_hit: reg.counter("pool.hit", Host),
             pool_miss: reg.counter("pool.miss", Host),
             pool_drop: reg.counter("pool.recycle_drop", Host),
@@ -372,6 +382,11 @@ pub struct Comm {
     /// This rank's view of the installed chaos plan, if any. `None` keeps every
     /// charging path bit-identical to the clean model.
     chaos: Option<ChaosView>,
+    /// The cluster topology, if any (see [`crate::Cluster::with_topology`]).
+    /// Shape-only topologies change grouping and tier accounting but never
+    /// link charging; topologies with tier parameters supersede the flat cost
+    /// model at every charging point.
+    topo: Option<Arc<Topology>>,
 }
 
 impl Comm {
@@ -385,6 +400,7 @@ impl Comm {
         pool_budget: Arc<PoolBudget>,
         chaos: Option<ChaosView>,
         metrics: SimMetrics,
+        topo: Option<Arc<Topology>>,
     ) -> Self {
         // A paused peer holds the real channel for up to the plan's wall-hold
         // budget; the thread-engine deadlock watchdog must wait that much
@@ -412,6 +428,7 @@ impl Comm {
             pool: BufPool::default(),
             pool_budget,
             chaos,
+            topo,
         }
     }
 
@@ -434,6 +451,23 @@ impl Comm {
     /// The cost model in effect.
     pub fn cost(&self) -> CostModel {
         self.cost
+    }
+
+    /// The cluster topology, if one is installed (explicitly via
+    /// [`crate::Cluster::with_topology`] or session-wide via `SIMNET_TOPO`).
+    /// Hierarchical collectives consult this to group ranks by node.
+    pub fn topology(&self) -> Option<&Topology> {
+        self.topo.as_deref()
+    }
+
+    /// Effective clean `(α, β)` for the `self.rank → dst` link: the topology's
+    /// tier parameters when it carries them (oversubscription folded in), else
+    /// the flat cost model (which may itself carry a [`crate::Hierarchy`]).
+    fn link_params(&self, dst: usize) -> (f64, f64) {
+        self.topo
+            .as_ref()
+            .and_then(|t| t.tier_params(self.rank, dst))
+            .unwrap_or_else(|| self.cost.link(self.rank, dst))
     }
 
     /// Current virtual time of this rank, in modeled seconds.
@@ -677,10 +711,10 @@ impl Comm {
             // The clean β still travels along in case the receiver is not in
             // free mode (modes are supposed to agree, but don't silently
             // change the cost if they don't).
-            (f64::NEG_INFINITY, self.cost.link(self.rank, dst).1, false)
+            (f64::NEG_INFINITY, self.link_params(dst).1, false)
         } else {
             self.apply_pause();
-            let (alpha, beta) = self.cost.link(self.rank, dst);
+            let (alpha, beta) = self.link_params(dst);
             let inj_start = self.now.max(self.inj_free);
             let (alpha_eff, beta_eff, perturbed) = match self.chaos.as_mut() {
                 Some(view) => {
@@ -705,6 +739,13 @@ impl Comm {
                 self.metrics.msg_elems.record(elems);
                 if let Some(links) = &self.metrics.link_bytes {
                     links.add(self.rank * self.metrics.ranks + dst, elems * 4);
+                }
+                // Tier aggregation works at any P (unlike the P·P matrix). A
+                // flat network counts everything as inter-node fabric.
+                if self.topo.as_ref().is_some_and(|t| t.is_intra(self.rank, dst)) {
+                    self.metrics.intra_bytes.add(self.rank, elems * 4);
+                } else {
+                    self.metrics.inter_bytes.add(self.rank, elems * 4);
                 }
             }
             let inj_end = self.inj_free;

@@ -215,41 +215,46 @@ impl Net for Comm {
 /// The group [`barrier`](Net::barrier) is a dissemination barrier over the group's
 /// members only (`⌈log2 g⌉` rounds of empty messages), so its clock semantics
 /// follow from ordinary message dependencies.
-pub struct GroupComm<'a> {
-    comm: &'a mut Comm,
-    /// Global ranks of the members, in group-rank order.
+///
+/// Generic over the parent communicator, so groups nest (a group of a group
+/// renumbers and salts twice) and algorithms written against [`Net`] can form
+/// sub-groups of whatever communicator they were handed — the hierarchical
+/// collectives rely on this. `C` defaults to [`Comm`], the common case.
+pub struct GroupComm<'a, C: Net = Comm> {
+    comm: &'a mut C,
+    /// Parent-communicator ranks of the members, in group-rank order.
     members: Vec<usize>,
     /// This endpoint's group-local rank.
     my_index: usize,
     salt: Tag,
 }
 
-impl<'a> GroupComm<'a> {
-    /// Wrap `comm` as a member of the group `members` (global ranks; must contain
+impl<'a, C: Net> GroupComm<'a, C> {
+    /// Wrap `comm` as a member of the group `members` (parent ranks; must contain
     /// the caller). All members must construct the group with the same `members`
     /// order and `group_id`.
-    pub fn new(comm: &'a mut Comm, members: Vec<usize>, group_id: u16) -> Self {
-        let me = Comm::rank(comm);
+    pub fn new(comm: &'a mut C, members: Vec<usize>, group_id: u16) -> Self {
+        let me = comm.rank();
         let my_index = members
             .iter()
             .position(|&r| r == me)
             .expect("calling rank must be a member of its own group");
-        assert!(members.iter().all(|&r| r < Comm::size(comm)), "group member out of cluster range");
+        assert!(members.iter().all(|&r| r < comm.size()), "group member out of cluster range");
         Self { comm, members, my_index, salt: (group_id as Tag) << 48 }
     }
 
-    /// The global rank behind a group-local rank.
+    /// The parent-communicator rank behind a group-local rank.
     pub fn global_rank(&self, group_rank: usize) -> usize {
         self.members[group_rank]
     }
 
-    /// Borrow the underlying global communicator (e.g. for cross-group traffic).
-    pub fn global(&mut self) -> &mut Comm {
+    /// Borrow the underlying parent communicator (e.g. for cross-group traffic).
+    pub fn global(&mut self) -> &mut C {
         self.comm
     }
 }
 
-impl Net for GroupComm<'_> {
+impl<C: Net> Net for GroupComm<'_, C> {
     fn rank(&self) -> usize {
         self.my_index
     }
@@ -273,7 +278,7 @@ impl Net for GroupComm<'_> {
     }
 
     fn now(&self) -> f64 {
-        Comm::now(self.comm)
+        self.comm.now()
     }
 
     fn advance_to(&mut self, t: f64) {

@@ -277,4 +277,78 @@ mod tests {
             assert_eq!(wr, ws, "resumed run must match the uninterrupted run exactly");
         }
     }
+
+    /// The same resume property end-to-end through the filesystem and across a
+    /// full cluster teardown: run A trains 5 steps and saves one checkpoint
+    /// file per rank; a *separate* cluster run B loads the files and trains 5
+    /// more, matching the uninterrupted reference bit-for-bit.
+    #[test]
+    fn resume_through_files_is_bit_exact_across_cluster_restarts() {
+        use oktopk::{OkTopkConfig, OkTopkSgd};
+        use simnet::{Cluster, CostModel};
+
+        let (p, n, k) = (4usize, 128usize, 16usize);
+        let grad_for = |t: usize, rank: usize| -> Vec<f32> {
+            (0..n).map(|i| (((t * 31 + rank * 7 + i) % 17) as f32 - 8.0) * 0.1).collect()
+        };
+        let path_for = |rank: usize| {
+            std::env::temp_dir().join(format!("okt_resume_{}_{rank}.bin", std::process::id()))
+        };
+
+        // Uninterrupted reference: 10 steps.
+        let reference = Cluster::new(p, CostModel::free()).run(|comm| {
+            let mut sgd = OkTopkSgd::new(OkTopkConfig::new(n, k).with_periods(3, 3));
+            let mut w = vec![0.0f32; n];
+            for t in 1..=10 {
+                let step = sgd.step(comm, &grad_for(t, comm.rank()), 0.1);
+                for (i, v) in step.update.iter() {
+                    w[i as usize] -= v;
+                }
+            }
+            w
+        });
+
+        // Run A: 5 steps, then save params + residual + threshold state to disk.
+        Cluster::new(p, CostModel::free()).run(|comm| {
+            let mut sgd = OkTopkSgd::new(OkTopkConfig::new(n, k).with_periods(3, 3));
+            let mut w = vec![0.0f32; n];
+            for t in 1..=5 {
+                let step = sgd.step(comm, &grad_for(t, comm.rank()), 0.1);
+                for (i, v) in step.update.iter() {
+                    w[i as usize] -= v;
+                }
+            }
+            let (local_th, global_th, boundaries) = sgd.allreduce_state().export_state();
+            let mut state = vec![local_th.unwrap_or(f32::NAN), global_th];
+            state.extend(boundaries.iter().map(|&b| b as f32));
+            Checkpoint::new(sgd.iteration() as u64, vec![w, sgd.residual().to_vec(), state])
+                .save(path_for(comm.rank()))
+                .expect("save checkpoint");
+        });
+
+        // Run B: a fresh cluster restores every rank from its file and finishes.
+        let resumed = Cluster::new(p, CostModel::free()).run(|comm| {
+            let path = path_for(comm.rank());
+            let back = Checkpoint::load(&path).expect("load checkpoint");
+            std::fs::remove_file(&path).ok();
+            let mut sgd = OkTopkSgd::new(OkTopkConfig::new(n, k).with_periods(3, 3));
+            sgd.restore(back.sections[1].clone(), back.iteration as usize);
+            let st = &back.sections[2];
+            let local = if st[0].is_nan() { None } else { Some(st[0]) };
+            let bounds: Vec<u32> = st[2..].iter().map(|&b| b as u32).collect();
+            sgd.allreduce_state_mut().import_state(local, st[1], bounds);
+            let mut w = back.sections[0].clone();
+            for t in 6..=10 {
+                let step = sgd.step(comm, &grad_for(t, comm.rank()), 0.1);
+                for (i, v) in step.update.iter() {
+                    w[i as usize] -= v;
+                }
+            }
+            w
+        });
+
+        for (wr, ws) in reference.results.iter().zip(&resumed.results) {
+            assert_eq!(wr, ws, "file-restored run must match the uninterrupted run exactly");
+        }
+    }
 }

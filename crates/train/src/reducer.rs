@@ -1,13 +1,16 @@
-//! One interface over the seven gradient-exchange schemes of the evaluation.
+//! One interface over the gradient-exchange schemes of the evaluation: the
+//! paper's seven plus their two-tier hierarchical variants.
 
 use crate::cost::CostProfile;
+use collectives::hier::LEADER_GROUP;
 use collectives::{
-    allreduce_overlapped, dsa_allreduce, gtopk_allreduce, quantized_allgather_allreduce,
+    allreduce_overlapped, broadcast, dsa_allreduce, gtopk_allreduce, hier_dense_allreduce,
+    hier_gtopk_allreduce, quantized_allgather_allreduce, reduce_to_root_dense,
     topk_allgather_allreduce,
 };
 use oktopk::oktopk::intersect_sorted;
 use oktopk::{OkTopkConfig, OkTopkSgd};
-use simnet::Net;
+use simnet::{GroupComm, Net};
 use sparse::quant::QuantMode;
 use sparse::select::{exact_threshold, select_ge, topk_exact};
 use sparse::threshold::GaussianEstimator;
@@ -30,11 +33,19 @@ pub enum Scheme {
     GaussianK,
     /// The paper's O(k) sparse allreduce.
     OkTopk,
+    /// Two-tier dense allreduce: intra-node reduce → leader allreduce → broadcast.
+    HierDense,
+    /// Two-tier gTopk: intra-node re-selection tree → leader gTopk → broadcast.
+    HierGTopk,
+    /// Two-tier Ok-Topk: intra-node dense reduce to the leader (one re-selection
+    /// point per node) → leader-group Ok-Topk → intra-node broadcast.
+    HierOkTopk,
 }
 
 impl Scheme {
-    /// All seven schemes, in the paper's presentation order.
-    pub fn all() -> [Scheme; 7] {
+    /// All schemes: the paper's seven in presentation order, then the
+    /// hierarchical variants.
+    pub fn all() -> [Scheme; 10] {
         [
             Scheme::Dense,
             Scheme::DenseOvlp,
@@ -43,6 +54,9 @@ impl Scheme {
             Scheme::GTopk,
             Scheme::GaussianK,
             Scheme::OkTopk,
+            Scheme::HierDense,
+            Scheme::HierGTopk,
+            Scheme::HierOkTopk,
         ]
     }
 
@@ -56,12 +70,21 @@ impl Scheme {
             Scheme::GTopk => "gTopk",
             Scheme::GaussianK => "Gaussiank",
             Scheme::OkTopk => "Ok-Topk",
+            Scheme::HierDense => "Hier-Dense",
+            Scheme::HierGTopk => "Hier-gTopk",
+            Scheme::HierOkTopk => "Hier-Ok-Topk",
         }
     }
 
     /// Whether the scheme sparsifies gradients.
     pub fn is_sparse(&self) -> bool {
-        !matches!(self, Scheme::Dense | Scheme::DenseOvlp)
+        !matches!(self, Scheme::Dense | Scheme::DenseOvlp | Scheme::HierDense)
+    }
+
+    /// Whether the scheme is a two-tier hierarchical variant (degenerates to
+    /// its flat counterpart when `ranks_per_node` is 1).
+    pub fn is_hierarchical(&self) -> bool {
+        matches!(self, Scheme::HierDense | Scheme::HierGTopk | Scheme::HierOkTopk)
     }
 }
 
@@ -104,6 +127,10 @@ pub struct Reducer {
     /// Optional SparCML-style value quantization on the wire (TopkA transport
     /// only); the quantization error flows into the residual like any noise.
     quantization: Option<QuantMode>,
+    /// Ranks per node for the hierarchical schemes; 1 (the default) makes them
+    /// degenerate to their flat counterparts. The trainer sets this from the
+    /// cluster's installed topology.
+    rpn: usize,
     t: usize,
 }
 
@@ -118,7 +145,7 @@ impl Reducer {
         tau_prime: usize,
     ) -> Self {
         let k = ((n as f64 * density).round() as usize).clamp(1, n);
-        let oktopk = if scheme == Scheme::OkTopk {
+        let oktopk = if matches!(scheme, Scheme::OkTopk | Scheme::HierOkTopk) {
             Some(OkTopkSgd::new(
                 OkTopkConfig::new(n, k)
                     .with_periods(tau, tau_prime)
@@ -128,8 +155,20 @@ impl Reducer {
             None
         };
         let residual =
-            if scheme.is_sparse() && scheme != Scheme::OkTopk { vec![0.0; n] } else { Vec::new() };
-        Self { scheme, n, k, cost, residual, oktopk, quantization: None, t: 0 }
+            if scheme.is_sparse() && !matches!(scheme, Scheme::OkTopk | Scheme::HierOkTopk) {
+                vec![0.0; n]
+            } else {
+                Vec::new()
+            };
+        Self { scheme, n, k, cost, residual, oktopk, quantization: None, rpn: 1, t: 0 }
+    }
+
+    /// Set the node grouping the hierarchical schemes use (ranks per node).
+    /// `1` — the default — degenerates them to their flat counterparts; the
+    /// trainer passes [`collectives::ranks_per_node`] of the live communicator.
+    pub fn with_ranks_per_node(mut self, rpn: usize) -> Self {
+        self.rpn = rpn.max(1);
+        self
     }
 
     /// Enable SparCML-style wire quantization (effective for the allgather-based
@@ -188,16 +227,26 @@ impl Reducer {
         let mut metrics = ReduceMetrics::default();
 
         match self.scheme {
-            Scheme::Dense | Scheme::DenseOvlp => {
-                comm.set_phase("dense");
+            Scheme::Dense | Scheme::DenseOvlp | Scheme::HierDense => {
                 let mut sum = grad.to_vec();
-                allreduce_overlapped(comm, &mut sum, overlap_budget);
+                if self.scheme == Scheme::HierDense {
+                    comm.set_phase("hier-dense");
+                    // The hierarchical variant has no interleaved-overlap path;
+                    // any budget is spent as plain compute up front.
+                    if overlap_budget > 0.0 {
+                        comm.compute(overlap_budget);
+                    }
+                    hier_dense_allreduce(comm, &mut sum, self.rpn);
+                } else {
+                    comm.set_phase("dense");
+                    allreduce_overlapped(comm, &mut sum, overlap_budget);
+                }
                 for v in &mut sum {
                     *v /= p;
                 }
                 (Update::Dense(sum), metrics)
             }
-            Scheme::TopkA | Scheme::TopkDsa | Scheme::GTopk => {
+            Scheme::TopkA | Scheme::TopkDsa | Scheme::GTopk | Scheme::HierGTopk => {
                 let acc = self.accumulate(grad, scale);
                 // Exact top-k selection (torch.topk-style cost).
                 let sp = self.cost.topk_exact(self.n);
@@ -219,11 +268,16 @@ impl Reducer {
                         metrics.dsa_density = Some(out.stats.output_density);
                         (out.sum, local.indexes().to_vec())
                     }
-                    Scheme::GTopk => {
-                        let result = gtopk_allreduce(comm, local.clone(), self.k);
+                    Scheme::GTopk | Scheme::HierGTopk => {
+                        let result = if self.scheme == Scheme::HierGTopk {
+                            hier_gtopk_allreduce(comm, local.clone(), self.k, self.rpn)
+                        } else {
+                            gtopk_allreduce(comm, local.clone(), self.k)
+                        };
                         // The paper attributes gTopk's per-level hierarchical
                         // selections to communication time; each level re-selects
-                        // the top-k of a 2k-entry merge.
+                        // the top-k of a 2k-entry merge. The two-tier variant
+                        // regroups the tree across tiers but keeps its depth.
                         let levels =
                             (usize::BITS - (comm.size().max(2) - 1).leading_zeros()) as f64;
                         comm.compute(self.cost.topk_exact(2 * self.k) * levels);
@@ -267,27 +321,95 @@ impl Reducer {
                 avg.scale(1.0 / p);
                 (Update::Sparse(avg), metrics)
             }
-            Scheme::OkTopk => {
-                let sgd = self.oktopk.as_mut().expect("OkTopk state present");
-                // Threshold re-evaluation iterations pay the exact selection; all
-                // others pay one threshold scan (§3.1.3).
-                let t_next = sgd.iteration() + 1;
-                let reeval = sgd.allreduce_state().is_reeval_iteration(t_next);
-                let sp = if reeval {
-                    // Local exact threshold over n + global exact threshold over the
-                    // gathered ≈2k reduced values.
-                    self.cost.topk_exact(self.n) + self.cost.topk_launch
-                } else {
-                    self.cost.scan(self.n, 1)
-                };
-                comm.compute(sp);
-                metrics.sparsify_time = sp;
+            Scheme::OkTopk | Scheme::HierOkTopk => {
+                let size = comm.size();
+                let rank = comm.rank();
+                let rpn =
+                    if self.scheme == Scheme::HierOkTopk { self.rpn.clamp(1, size) } else { 1 };
+                let sgd = self.oktopk.as_mut().expect("Ok-Topk state present");
+                if rpn == 1 || size == 1 {
+                    // Flat Ok-Topk — also the hierarchical variant's degeneration
+                    // when every rank is its own node leader.
+                    // Threshold re-evaluation iterations pay the exact selection;
+                    // all others pay one threshold scan (§3.1.3).
+                    let t_next = sgd.iteration() + 1;
+                    let reeval = sgd.allreduce_state().is_reeval_iteration(t_next);
+                    let sp = if reeval {
+                        // Local exact threshold over n + global exact threshold
+                        // over the gathered ≈2k reduced values.
+                        self.cost.topk_exact(self.n) + self.cost.topk_launch
+                    } else {
+                        self.cost.scan(self.n, 1)
+                    };
+                    comm.compute(sp);
+                    metrics.sparsify_time = sp;
 
-                let step = sgd.step(comm, grad, scale);
-                metrics.local_nnz = Some(step.meta.local_nnz);
-                metrics.global_nnz = Some(step.meta.global_nnz);
-                metrics.balanced = Some(step.meta.balanced);
-                (Update::Sparse(step.update), metrics)
+                    let step = sgd.step(comm, grad, scale);
+                    metrics.local_nnz = Some(step.meta.local_nnz);
+                    metrics.global_nnz = Some(step.meta.global_nnz);
+                    metrics.balanced = Some(step.meta.balanced);
+                    (Update::Sparse(step.update), metrics)
+                } else {
+                    comm.set_phase("hier-oktopk");
+                    let node = rank / rpn;
+                    let lo = node * rpn;
+                    let members: Vec<usize> = (lo..(lo + rpn).min(size)).collect();
+                    let nodes = size.div_ceil(rpn);
+
+                    // Phase 1 (intra): dense-reduce the raw gradients to the node
+                    // leader. Error feedback lives at the leader — one residual
+                    // and one re-selection point per node, so selection cost is
+                    // paid per node, not per rank.
+                    let mut node_sum = grad.to_vec();
+                    {
+                        let mut g = GroupComm::new(comm, members.clone(), node as u16);
+                        reduce_to_root_dense(&mut g, &mut node_sum);
+                    }
+
+                    // Phase 2 (inter): the leader steps Ok-Topk over the leader
+                    // group. Scaling by nodes/size turns the group's division by
+                    // `nodes` into the exact global mean, partial last node
+                    // included.
+                    let leader_out = if rank == lo {
+                        let t_next = sgd.iteration() + 1;
+                        let reeval = sgd.allreduce_state().is_reeval_iteration(t_next);
+                        let sp = if reeval {
+                            self.cost.topk_exact(self.n) + self.cost.topk_launch
+                        } else {
+                            self.cost.scan(self.n, 1)
+                        };
+                        comm.compute(sp);
+                        metrics.sparsify_time = sp;
+                        let eff = scale * nodes as f32 / size as f32;
+                        let mut g =
+                            GroupComm::new(comm, (0..size).step_by(rpn).collect(), LEADER_GROUP);
+                        Some(sgd.step(&mut g, &node_sum, eff))
+                    } else {
+                        None
+                    };
+
+                    // Phase 3 (intra): broadcast the update so every rank applies
+                    // the same delta. The tiny meta triple rides free mode —
+                    // pure instrumentation, not part of the algorithm.
+                    comm.set_phase("hier-oktopk");
+                    let meta3 = leader_out.as_ref().map(|s| {
+                        vec![
+                            s.meta.local_nnz as u32,
+                            s.meta.global_nnz as u32,
+                            s.meta.balanced as u32,
+                        ]
+                    });
+                    let parts = leader_out.map(|s| s.update.into_parts());
+                    let mut g = GroupComm::new(comm, members, node as u16);
+                    let (idx, val) = broadcast(&mut g, 0, parts);
+                    g.set_free_mode(true);
+                    let meta3 = broadcast(&mut g, 0, meta3);
+                    g.set_free_mode(false);
+                    metrics.local_nnz = Some(meta3[0] as usize);
+                    metrics.global_nnz = Some(meta3[1] as usize);
+                    metrics.balanced = Some(meta3[2] != 0);
+                    (Update::Sparse(CooGradient::from_sorted(idx, val)), metrics)
+                }
             }
         }
     }
@@ -457,6 +579,93 @@ mod tests {
         let q16 = run(Some(sparse::quant::QuantMode::Q16));
         for (a, b) in plain.results[0].iter().zip(&q16.results[0]) {
             assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    /// Run 3 reduce steps of `scheme` with an explicit ranks-per-node and
+    /// return every rank's dense-materialized updates.
+    fn run_hier_steps(scheme: Scheme, p: usize, rpn: usize, n: usize, seed: u64) -> Vec<Vec<f32>> {
+        let gs = grads(p, n, seed);
+        let report = Cluster::new(p, CostModel::aries()).run(move |comm| {
+            let mut r = Reducer::new(scheme, n, 0.1, CostProfile::paper_calibrated(), 2, 2)
+                .with_ranks_per_node(rpn);
+            let mut out = Vec::new();
+            for t in 0..3 {
+                let g: Vec<f32> =
+                    gs[comm.rank()].iter().map(|v| v * (1.0 + t as f32 * 0.3)).collect();
+                match r.reduce(comm, &g, 0.1).0 {
+                    Update::Dense(d) => out.extend(d),
+                    Update::Sparse(u) => out.extend(u.to_dense(n)),
+                }
+            }
+            out
+        });
+        report.results
+    }
+
+    #[test]
+    fn hier_dense_matches_flat_dense_average() {
+        // Same semantics, different summation order: agree to fp tolerance.
+        for (p, rpn) in [(8usize, 4usize), (6, 4), (8, 2)] {
+            let flat = run_hier_steps(Scheme::Dense, p, 1, 96, 7);
+            let hier = run_hier_steps(Scheme::HierDense, p, rpn, 96, 7);
+            for (a, b) in flat[0].iter().zip(&hier[0]) {
+                assert!((a - b).abs() < 1e-4, "p={p} rpn={rpn}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn hier_schemes_degenerate_bitwise_at_rpn_1() {
+        // With one rank per node every rank is a leader and the hierarchical
+        // code paths ARE the flat ones — updates must be bit-identical.
+        for (hier, flat) in [
+            (Scheme::HierDense, Scheme::Dense),
+            (Scheme::HierGTopk, Scheme::GTopk),
+            (Scheme::HierOkTopk, Scheme::OkTopk),
+        ] {
+            let a = run_hier_steps(hier, 4, 1, 128, 9);
+            let b = run_hier_steps(flat, 4, 1, 128, 9);
+            assert_eq!(a, b, "{} vs {}", hier.name(), flat.name());
+        }
+    }
+
+    #[test]
+    fn hier_updates_identical_on_every_rank() {
+        // All ranks must apply the same delta, including with a partial last node.
+        for (p, rpn) in [(8usize, 4usize), (6, 4), (8, 8)] {
+            for scheme in [Scheme::HierDense, Scheme::HierGTopk, Scheme::HierOkTopk] {
+                let results = run_hier_steps(scheme, p, rpn, 128, 13);
+                for r in &results[1..] {
+                    assert_eq!(r, &results[0], "{} p={p} rpn={rpn}", scheme.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hier_oktopk_matches_flat_on_identical_gradients() {
+        // With every rank holding the same gradient, the node sums scaled by
+        // nodes/size reproduce the flat accumulator exactly, so the leader
+        // re-selection sees the same values the flat scheme does.
+        let (p, rpn, n) = (8, 4, 200);
+        let g = grads(1, n, 21).remove(0);
+        let run = |scheme: Scheme, rpn: usize| {
+            let g = g.clone();
+            let report = Cluster::new(p, CostModel::free()).run(move |comm| {
+                let mut r = Reducer::new(scheme, n, 0.1, CostProfile::paper_calibrated(), 2, 2)
+                    .with_ranks_per_node(rpn);
+                match r.reduce(comm, &g, 0.1).0 {
+                    Update::Sparse(u) => u.to_dense(n),
+                    _ => panic!("sparse"),
+                }
+            });
+            report.results[0].clone()
+        };
+        let flat = run(Scheme::OkTopk, 1);
+        let hier = run(Scheme::HierOkTopk, rpn);
+        for (a, b) in flat.iter().zip(&hier) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
         }
     }
 

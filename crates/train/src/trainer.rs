@@ -63,6 +63,11 @@ pub struct TrainConfig {
     /// Record per-rank activity traces, structured spans and (event engine)
     /// scheduler decisions for Chrome-trace export; see `RunResult::traces`.
     pub profile: bool,
+    /// Cluster topology installed on the simulated network. `None` keeps the
+    /// cluster default (the `SIMNET_TOPO` env, else flat). Shape-only
+    /// topologies change the hierarchical schemes' grouping without touching
+    /// link charging; two-tier topologies also re-price every link.
+    pub topology: Option<simnet::Topology>,
 }
 
 impl TrainConfig {
@@ -83,6 +88,7 @@ impl TrainConfig {
             engine: None,
             stack_bytes: None,
             profile: false,
+            topology: None,
         }
     }
 }
@@ -235,6 +241,9 @@ where
     if let Some(plan) = chaos {
         cluster = cluster.with_chaos(plan);
     }
+    if let Some(topo) = cfg.topology {
+        cluster = cluster.with_topology(topo);
+    }
     if cfg.profile {
         cluster = cluster.with_sched_trace(true);
     }
@@ -287,7 +296,8 @@ where
     let m_steps = comm.obs().counter("train.steps", obs::Class::Virtual);
     let mut model = make_model();
     let n = model.num_params();
-    let mut reducer = Reducer::new(cfg.scheme, n, cfg.density, cfg.cost, cfg.tau, cfg.tau_prime);
+    let mut reducer = Reducer::new(cfg.scheme, n, cfg.density, cfg.cost, cfg.tau, cfg.tau_prime)
+        .with_ranks_per_node(collectives::ranks_per_node(comm));
     let k = reducer.k();
 
     let (mut sgd, mut adam, base_scale): (Option<Sgd>, Option<Adam>, f32) = match cfg.optimizer {

@@ -1,5 +1,6 @@
-//! Cross-engine observability parity at the scheme level: for every one of
-//! the seven gradient-exchange schemes, the Virtual-class metrics recorded
+//! Cross-engine observability parity at the scheme level: for every
+//! gradient-exchange scheme (the paper's seven and the hierarchical
+//! variants), the Virtual-class metrics recorded
 //! during a run (recv-wait, tx/rx bytes, message histograms, chaos counters,
 //! trainer phase times, …) must be bit-identical between `Engine::Thread` and
 //! `Engine::Event` — clean and under a chaos plan. Host-class metrics (pool
@@ -80,14 +81,14 @@ fn assert_scheme_parity(scheme: Scheme, chaos: bool) {
 }
 
 #[test]
-fn all_seven_schemes_have_metric_parity_clean() {
+fn all_schemes_have_metric_parity_clean() {
     for scheme in Scheme::all() {
         assert_scheme_parity(scheme, false);
     }
 }
 
 #[test]
-fn all_seven_schemes_have_metric_parity_under_chaos() {
+fn all_schemes_have_metric_parity_under_chaos() {
     for scheme in Scheme::all() {
         assert_scheme_parity(scheme, true);
     }
@@ -108,16 +109,95 @@ fn assert_sched_parity(scheme: Scheme, chaos: bool) {
 }
 
 #[test]
-fn all_seven_schemes_have_sched_path_parity_clean() {
+fn all_schemes_have_sched_path_parity_clean() {
     for scheme in Scheme::all() {
         assert_sched_parity(scheme, false);
     }
 }
 
 #[test]
-fn all_seven_schemes_have_sched_path_parity_under_chaos() {
+fn all_schemes_have_sched_path_parity_under_chaos() {
     for scheme in Scheme::all() {
         assert_sched_parity(scheme, true);
+    }
+}
+
+/// The hierarchical schemes at P=4 with no topology degenerate to their flat
+/// counterparts, so the suites above only exercise the degenerate paths. Run
+/// them again on a genuine two-tier topology (8 ranks, 4 per node, 8×
+/// oversubscription) so the intra-reduce → leader-exchange → broadcast
+/// pipeline itself is held to the same cross-engine / cross-sched-path
+/// bit-parity guarantees, clean and under chaos.
+fn run_hier(
+    scheme: Scheme,
+    engine: Engine,
+    chaos: bool,
+    sched: Option<SchedMode>,
+) -> (Vec<f64>, Vec<(String, Vec<u64>)>, Vec<f64>) {
+    let p = 8;
+    let n = 512;
+    let rpn = 4;
+    let cost = CostProfile::paper_calibrated();
+    let topo =
+        simnet::Topology::two_tier(rpn, (1e-6, 1e-9), (25e-6, 4e-9)).with_oversubscription(8.0);
+    let mut cluster =
+        Cluster::new(p, cost.network()).with_obs(true).with_engine(engine).with_topology(topo);
+    if let Some(mode) = sched {
+        cluster = cluster.with_sched(mode);
+    }
+    if chaos {
+        let plan = ChaosPlan::new(23)
+            .straggler(3, 1.5)
+            .degrade_all_links(1.2, 1.5, 0.0, 1e-3)
+            .jitter(2e-6)
+            .pause(5, 1e-4, 5e-4);
+        cluster = cluster.with_chaos(plan);
+    }
+    let report = cluster.run(move |comm| {
+        let mut reducer = Reducer::new(scheme, n, 0.05, cost, 2, 2).with_ranks_per_node(rpn);
+        let mut checksum = 0.0f64;
+        for t in 0..3 {
+            let g = grad(comm.rank(), t, n);
+            let (update, _) = reducer.reduce_with_overlap(comm, &g, 0.1, 0.0);
+            checksum += match &update {
+                Update::Dense(v) => v.iter().map(|&x| x as f64).sum::<f64>(),
+                Update::Sparse(u) => u.values().iter().map(|&x| x as f64).sum::<f64>(),
+            };
+        }
+        checksum
+    });
+    (report.times.clone(), report.metrics.parity_view(), report.results)
+}
+
+const HIER_SCHEMES: [Scheme; 3] = [Scheme::HierDense, Scheme::HierGTopk, Scheme::HierOkTopk];
+
+#[test]
+fn hier_schemes_have_engine_parity_on_two_tier_topology() {
+    for scheme in HIER_SCHEMES {
+        for chaos in [false, true] {
+            let (t_clocks, t_metrics, t_results) = run_hier(scheme, Engine::Thread, chaos, None);
+            let (e_clocks, e_metrics, e_results) = run_hier(scheme, Engine::Event, chaos, None);
+            let label = scheme.name();
+            assert_eq!(t_results, e_results, "{label} chaos={chaos}: results diverged");
+            assert_eq!(t_clocks, e_clocks, "{label} chaos={chaos}: clocks diverged");
+            assert_eq!(t_metrics, e_metrics, "{label} chaos={chaos}: metrics diverged");
+        }
+    }
+}
+
+#[test]
+fn hier_schemes_have_sched_path_parity_on_two_tier_topology() {
+    for scheme in HIER_SCHEMES {
+        for chaos in [false, true] {
+            let (c_clocks, c_metrics, c_results) =
+                run_hier(scheme, Engine::Event, chaos, Some(SchedMode::Classic));
+            let (f_clocks, f_metrics, f_results) =
+                run_hier(scheme, Engine::Event, chaos, Some(SchedMode::Fast));
+            let label = scheme.name();
+            assert_eq!(c_results, f_results, "{label} chaos={chaos}: results diverged");
+            assert_eq!(c_clocks, f_clocks, "{label} chaos={chaos}: clocks diverged");
+            assert_eq!(c_metrics, f_metrics, "{label} chaos={chaos}: metrics diverged");
+        }
     }
 }
 

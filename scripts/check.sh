@@ -17,6 +17,10 @@
 # - chaos runs a tiny P=4 robustness sweep and fails the script if any
 #   perturbed cell beats its clean baseline (chaos must never help) or if a
 #   repeated chaos run is not bit-identical.
+# - hier runs a P=8 flat-vs-hierarchical slice on a two-tier topology and
+#   fails the script if Hier-Ok-Topk does not beat flat Ok-Topk once the
+#   effective inter/intra beta ratio reaches 8x, if a repeated cell is not
+#   bit-identical, or if inter-link chaos speeds any cell up.
 # - scale checks thread/event engine bit-parity at P=32, then fails the script
 #   if the event engine cannot run Ok-Topk at P=1024 inside its wall/memory
 #   budget, if the P=2048 headline misses its 30 s budget (>= 1.5x over the
@@ -30,11 +34,12 @@
 #
 # Quick numbers go to target/*-gate.json so they never overwrite the checked-in
 # full-run BENCH_PR6.json / BENCH_PR4.json / BENCH_PR5.json / BENCH_PR7.json /
-# BENCH_PR9.json; regenerate those with
+# BENCH_PR9.json / BENCH_PR10.json; regenerate those with
 #   cargo run --release -p okbench --bin hotpath
 #   cargo run --release -p okbench --bin msgpath
 #   cargo run --release -p okbench --bin chaos
 #   cargo run --release -p okbench --bin scale
+#   cargo run --release -p okbench --bin hier
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -70,6 +75,12 @@ echo "== tests (classic scheduler: SIMNET_SCHED=classic) =="
 # never rots.
 SIMNET_ENGINE=event SIMNET_SCHED=classic cargo test -q -p simnet -p okpar -p train -p okbench
 
+echo "== tests (two-tier topology default: SIMNET_TOPO=2x8) =="
+# A session-wide shape-only topology must be timing-neutral: it changes node
+# grouping and tier byte accounting but no modeled clock, so the entire suite
+# must stay green (and flat schemes bit-identical) with it installed.
+SIMNET_TOPO=2x8 cargo test -q --workspace
+
 echo "== tests (observability off: OKTOPK_OBS=off) =="
 # The obs kill switch promises zero behavioural difference: every result,
 # clock and ledger must be unchanged with the metrics registry disabled.
@@ -89,6 +100,9 @@ cargo run --release -p okbench --bin msgpath -- --quick --gate --out target/msgp
 
 echo "== chaos robustness smoke (P=4, gated) =="
 cargo run --release -p okbench --bin chaos -- --gate --out target/chaos-gate.json
+
+echo "== flat-vs-hierarchical smoke (P=8 two-tier, gated) =="
+cargo run --release -p okbench --bin hier -- --gate --out target/hier-gate.json
 
 echo "== scale sweep smoke (P=1024 budget + P=2048 headline, gated) =="
 cargo run --release -p okbench --bin scale -- --gate --out target/scale-gate.json
